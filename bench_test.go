@@ -1,0 +1,413 @@
+package rrtcp_test
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (DESIGN.md §4). Each benchmark runs the full
+// experiment per iteration and reports domain metrics (goodput,
+// transfer delay, timeouts) alongside the usual ns/op, so
+// `go test -bench=. -benchmem` doubles as the reproduction driver:
+//
+//	BenchmarkFigure5Drop3 / Drop6 / Drop8   — Figure 5 (+ robustness sweep)
+//	BenchmarkFigure6NewReno / SACK / RR     — Figure 6 panels
+//	BenchmarkFigure7                        — Figure 7 sweep (reduced)
+//	BenchmarkTable5Case1..4                 — Table 5 fairness matrix
+//	BenchmarkAckLoss                        — §2.3 ACK-loss robustness
+//	BenchmarkAblation                       — RR design-choice ablations
+//
+// Microbenchmarks at the bottom cover the substrate hot paths.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rrtcp"
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/tcp"
+)
+
+// --- Figure 5: drop-tail burst-loss throughput ---
+
+func benchFigure5(b *testing.B, drops int) {
+	b.Helper()
+	var rrGoodput, sackGoodput, newrenoGoodput float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunFigure5(rrtcp.Figure5Config{Drops: drops})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, _ := res.Row(rrtcp.RR)
+		sack, _ := res.Row(rrtcp.SACK)
+		nr, _ := res.Row(rrtcp.NewReno)
+		rrGoodput = rr.GoodputBps
+		sackGoodput = sack.GoodputBps
+		newrenoGoodput = nr.GoodputBps
+	}
+	b.ReportMetric(rrGoodput/1000, "rr-Kbps")
+	b.ReportMetric(sackGoodput/1000, "sack-Kbps")
+	b.ReportMetric(newrenoGoodput/1000, "newreno-Kbps")
+}
+
+func BenchmarkFigure5Drop3(b *testing.B) { benchFigure5(b, 3) }
+func BenchmarkFigure5Drop6(b *testing.B) { benchFigure5(b, 6) }
+func BenchmarkFigure5Drop8(b *testing.B) { benchFigure5(b, 8) }
+
+// --- Figure 6: RED gateway panels ---
+
+func benchFigure6(b *testing.B, kind rrtcp.Kind) {
+	b.Helper()
+	var flow0, aggregate float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunFigure6(rrtcp.Figure6Config{
+			Variants: []rrtcp.Kind{kind},
+			Seeds:    []int64{42, 43, 44},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, _ := res.Panel(kind)
+		flow0 = p.Flow0GoodputBps
+		aggregate = p.AggregateGoodputBps
+	}
+	b.ReportMetric(flow0/1000, "flow1-Kbps")
+	b.ReportMetric(aggregate/1000, "aggregate-Kbps")
+}
+
+func BenchmarkFigure6NewReno(b *testing.B) { benchFigure6(b, rrtcp.NewReno) }
+func BenchmarkFigure6SACK(b *testing.B)    { benchFigure6(b, rrtcp.SACK) }
+func BenchmarkFigure6RR(b *testing.B)      { benchFigure6(b, rrtcp.RR) }
+
+// --- Figure 7: square-root-model fitness ---
+
+func BenchmarkFigure7(b *testing.B) {
+	var rrFit, sackFit float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunFigure7(rrtcp.Figure7Config{
+			LossRates: []float64{0.005, 0.05},
+			Duration:  30 * time.Second,
+			Seeds:     []int64{1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, _ := res.Point(rrtcp.RR, 0.005)
+		sack, _ := res.Point(rrtcp.SACK, 0.005)
+		rrFit = rr.Window / rr.ModelWindow
+		sackFit = sack.Window / sack.ModelWindow
+	}
+	b.ReportMetric(rrFit, "rr-window/model")
+	b.ReportMetric(sackFit, "sack-window/model")
+}
+
+// --- Table 5: fairness matrix ---
+
+func benchTable5(b *testing.B, bg, target rrtcp.Kind) {
+	b.Helper()
+	var delay, lossRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunTable5(rrtcp.Table5Config{
+			Seeds: []int64{1, 2, 3},
+			Cases: []rrtcp.Table5Case{{Label: "bench", Background: bg, Target: target}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delay = res.Rows[0].TransferDelay.Seconds()
+		lossRate = res.Rows[0].LossRate
+	}
+	b.ReportMetric(delay, "transfer-s")
+	b.ReportMetric(lossRate*100, "loss-%")
+}
+
+func BenchmarkTable5Case1RenoOverReno(b *testing.B) { benchTable5(b, rrtcp.Reno, rrtcp.Reno) }
+func BenchmarkTable5Case2RenoOverRR(b *testing.B)   { benchTable5(b, rrtcp.RR, rrtcp.Reno) }
+func BenchmarkTable5Case3RROverRR(b *testing.B)     { benchTable5(b, rrtcp.RR, rrtcp.RR) }
+func BenchmarkTable5Case4RROverReno(b *testing.B)   { benchTable5(b, rrtcp.Reno, rrtcp.RR) }
+
+// --- §2.3 ACK-loss robustness ---
+
+func BenchmarkAckLoss(b *testing.B) {
+	var rrDelay float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunAckLoss(rrtcp.AckLossConfig{
+			AckLossRates: []float64{0.1},
+			Variants:     []rrtcp.Kind{rrtcp.NewReno, rrtcp.RR},
+			Seeds:        []int64{1, 2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range res.Points {
+			if pt.Variant == rrtcp.RR {
+				rrDelay = pt.MeanDelay.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(rrDelay, "rr-delay-s")
+}
+
+// --- RR design ablations ---
+
+func BenchmarkAblation(b *testing.B) {
+	var published, noDetect float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunAblation(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Variant.Label {
+			case "rr (published)":
+				published = row.TransferDelay.Seconds()
+			case "no further-loss detection":
+				noDetect = row.TransferDelay.Seconds()
+			}
+		}
+	}
+	b.ReportMetric(published, "published-s")
+	b.ReportMetric(noDetect, "no-detect-s")
+}
+
+// --- substrate microbenchmarks ---
+
+func BenchmarkSchedulerEventChurn(b *testing.B) {
+	s := sim.NewScheduler(1)
+	b.ReportAllocs()
+	var tick func()
+	remaining := b.N
+	tick = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		if _, err := s.Schedule(time.Microsecond, tick); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tick()
+	b.ResetTimer()
+	s.RunAll()
+}
+
+func BenchmarkREDEnqueueDequeue(b *testing.B) {
+	q := netem.NewRED(netem.PaperREDConfig(), rand.New(rand.NewSource(1)))
+	p := &netem.Packet{Kind: netem.Data, Size: 1000, Len: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p, time.Duration(i)*time.Millisecond)
+		q.Dequeue()
+	}
+}
+
+func BenchmarkDropTailEnqueueDequeue(b *testing.B) {
+	q := netem.NewDropTail(64)
+	p := &netem.Packet{Kind: netem.Data, Size: 1000, Len: 1000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p, 0)
+		q.Dequeue()
+	}
+}
+
+func BenchmarkReceiverInOrder(b *testing.B) {
+	sched := sim.NewScheduler(1)
+	sink := netem.NodeFunc(func(*netem.Packet) {})
+	r := tcp.NewReceiver(sched, 0, sink, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Receive(&netem.Packet{Flow: 0, Kind: netem.Data, Seq: int64(i) * 1000, Len: 1000, Size: 1000})
+	}
+}
+
+func BenchmarkEndToEndSimulationThroughput(b *testing.B) {
+	// Measures simulator speed: simulated packet deliveries per second
+	// of wall time for a 10-flow RED scenario.
+	for i := 0; i < b.N; i++ {
+		sched := rrtcp.NewScheduler(1)
+		cfg := rrtcp.PaperDropTailConfig(10)
+		cfg.ForwardQueue = rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig())
+		d, err := rrtcp.NewDumbbell(sched, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs := make([]rrtcp.FlowSpec, 10)
+		for j := range specs {
+			specs[j] = rrtcp.FlowSpec{Kind: rrtcp.RR, Bytes: rrtcp.Infinite, Window: 30}
+		}
+		if _, err := rrtcp.InstallFlows(sched, d, specs); err != nil {
+			b.Fatal(err)
+		}
+		sched.Run(6 * time.Second)
+	}
+}
+
+// --- §2.3 fair-share gateways ---
+
+func BenchmarkFairShare(b *testing.B) {
+	var fifoLoss, drrLoss float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunFairShare(rrtcp.FairShareConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fifo, _ := res.Row("fifo")
+		drr, _ := res.Row("drr")
+		fifoLoss = fifo.AckLossRate
+		drrLoss = drr.AckLossRate
+	}
+	b.ReportMetric(fifoLoss*100, "fifo-ackloss-%")
+	b.ReportMetric(drrLoss*100, "drr-ackloss-%")
+}
+
+// --- two-way traffic extension ---
+
+func BenchmarkTwoWay(b *testing.B) {
+	var rrDelay, newrenoDelay float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunTwoWay(rrtcp.TwoWayConfig{Seeds: []int64{1, 2}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, _ := res.Row(rrtcp.RR)
+		nr, _ := res.Row(rrtcp.NewReno)
+		rrDelay = rr.MeanDelay.Seconds()
+		newrenoDelay = nr.MeanDelay.Seconds()
+	}
+	b.ReportMetric(rrDelay, "rr-delay-s")
+	b.ReportMetric(newrenoDelay, "newreno-delay-s")
+}
+
+// --- Smooth-start [21] ---
+
+func BenchmarkSmoothStart(b *testing.B) {
+	var classicDrops, smoothDrops float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunSmoothStart(rrtcp.SmoothStartConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		classic, _ := res.Row(false)
+		smooth, _ := res.Row(true)
+		classicDrops = float64(classic.SlowStartDrops)
+		smoothDrops = float64(smooth.SlowStartDrops)
+	}
+	b.ReportMetric(classicDrops, "classic-drops")
+	b.ReportMetric(smoothDrops, "smooth-drops")
+}
+
+// --- delayed-ACK model fit (extension of Figure 7) ---
+
+func BenchmarkFigure7DelayedAck(b *testing.B) {
+	var fit float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunFigure7(rrtcp.Figure7Config{
+			LossRates:  []float64{0.005},
+			Duration:   30 * time.Second,
+			Seeds:      []int64{1},
+			DelayedAck: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt, _ := res.Point(rrtcp.SACK, 0.005)
+		fit = pt.Window / pt.ModelWindow
+	}
+	b.ReportMetric(fit, "window/model")
+}
+
+// --- more substrate microbenchmarks ---
+
+func BenchmarkDRREnqueueDequeue(b *testing.B) {
+	q := netem.NewDRR(1000, 64)
+	pkts := [4]*netem.Packet{}
+	for i := range pkts {
+		pkts[i] = &netem.Packet{Flow: i, Kind: netem.Data, Size: 1000, Len: 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(pkts[i%4], 0)
+		q.Dequeue()
+	}
+}
+
+func BenchmarkReceiverOutOfOrder(b *testing.B) {
+	sched := sim.NewScheduler(1)
+	sink := netem.NodeFunc(func(*netem.Packet) {})
+	r := tcp.NewReceiver(sched, 0, sink, nil)
+	r.SACKEnabled = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate a gap and its fill: exercises block merge + SACK
+		// generation on every second packet.
+		base := int64(i) * 2000
+		r.Receive(&netem.Packet{Flow: 0, Kind: netem.Data, Seq: base + 1000, Len: 1000, Size: 1000})
+		r.Receive(&netem.Packet{Flow: 0, Kind: netem.Data, Seq: base, Len: 1000, Size: 1000})
+	}
+}
+
+// benchVariantTransfer measures one full burst-loss transfer per
+// iteration for a given variant — the end-to-end cost of each recovery
+// scheme's state machine.
+func benchVariantTransfer(b *testing.B, kind rrtcp.Kind) {
+	b.Helper()
+	var delay float64
+	for i := 0; i < b.N; i++ {
+		sched := rrtcp.NewScheduler(1)
+		loss := rrtcp.NewSeqLoss()
+		loss.Drop(0, 60*1000, 61*1000, 63*1000)
+		cfg := rrtcp.PaperDropTailConfig(1)
+		cfg.Loss = loss
+		d, err := rrtcp.NewDumbbell(sched, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flow, err := rrtcp.InstallFlow(sched, d, 0, rrtcp.FlowSpec{
+			Kind:            kind,
+			Bytes:           150 * 1000,
+			Window:          18,
+			InitialSSThresh: 9,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched.Run(60 * time.Second)
+		if dl, ok := flow.Trace.TransferDelay(); ok {
+			delay = dl.Seconds()
+		}
+	}
+	b.ReportMetric(delay, "transfer-s")
+}
+
+func BenchmarkVariantTahoe(b *testing.B)     { benchVariantTransfer(b, rrtcp.Tahoe) }
+func BenchmarkVariantReno(b *testing.B)      { benchVariantTransfer(b, rrtcp.Reno) }
+func BenchmarkVariantNewReno(b *testing.B)   { benchVariantTransfer(b, rrtcp.NewReno) }
+func BenchmarkVariantSACK(b *testing.B)      { benchVariantTransfer(b, rrtcp.SACK) }
+func BenchmarkVariantFACK(b *testing.B)      { benchVariantTransfer(b, rrtcp.FACK) }
+func BenchmarkVariantRightEdge(b *testing.B) { benchVariantTransfer(b, rrtcp.RightEdge) }
+func BenchmarkVariantLinKung(b *testing.B)   { benchVariantTransfer(b, rrtcp.LinKung) }
+func BenchmarkVariantRR(b *testing.B)        { benchVariantTransfer(b, rrtcp.RR) }
+
+// --- Gilbert-Elliott bursty loss ---
+
+func BenchmarkBursty(b *testing.B) {
+	var rr8, nr8 float64
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunBursty(rrtcp.BurstyConfig{
+			BurstLengths: []float64{8},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, _ := res.Point(rrtcp.RR, 8)
+		nr, _ := res.Point(rrtcp.NewReno, 8)
+		rr8 = rr.GoodputBps
+		nr8 = nr.GoodputBps
+	}
+	b.ReportMetric(rr8/1000, "rr-Kbps")
+	b.ReportMetric(nr8/1000, "newreno-Kbps")
+}

@@ -1,0 +1,160 @@
+// Command rrplot regenerates the paper's figures as gnuplot-ready data
+// files plus matching .gp scripts, for readers who want real plots
+// instead of rrsim's ASCII rendering.
+//
+// Usage:
+//
+//	rrplot [-out dir] [fig5|fig6|fig7|all]
+//
+// Then: cd <dir> && gnuplot fig7.gp (produces fig7.png), etc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rrtcp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rrplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rrplot", flag.ContinueOnError)
+	out := fs.String("out", "plots", "output directory for .dat/.gp files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target := "all"
+	if fs.NArg() > 0 {
+		target = fs.Arg(0)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	switch target {
+	case "fig5":
+		return writeFig5(*out)
+	case "fig6":
+		return writeFig6(*out)
+	case "fig7":
+		return writeFig7(*out)
+	case "all":
+		if err := writeFig5(*out); err != nil {
+			return err
+		}
+		if err := writeFig6(*out); err != nil {
+			return err
+		}
+		return writeFig7(*out)
+	default:
+		return fmt.Errorf("unknown target %q (want fig5|fig6|fig7|all)", target)
+	}
+}
+
+func writeFile(dir, name, content string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+}
+
+// writeFig5 emits grouped-bar data: variant, goodput at 3 and 6 drops.
+func writeFig5(dir string) error {
+	var b strings.Builder
+	b.WriteString("# variant goodput3drops_kbps goodput6drops_kbps\n")
+	res3, err := rrtcp.RunFigure5(rrtcp.Figure5Config{Drops: 3})
+	if err != nil {
+		return err
+	}
+	res6, err := rrtcp.RunFigure5(rrtcp.Figure5Config{Drops: 6})
+	if err != nil {
+		return err
+	}
+	for _, row3 := range res3.Rows {
+		row6, _ := res6.Row(row3.Variant)
+		fmt.Fprintf(&b, "%s %.1f %.1f\n", row3.Variant, row3.GoodputBps/1000, row6.GoodputBps/1000)
+	}
+	if err := writeFile(dir, "fig5.dat", b.String()); err != nil {
+		return err
+	}
+	gp := `set terminal png size 800,500
+set output 'fig5.png'
+set title 'Figure 5: effective throughput under burst loss'
+set style data histograms
+set style histogram clustered gap 1
+set style fill solid 0.8 border -1
+set ylabel 'goodput (Kbps)'
+set yrange [0:*]
+plot 'fig5.dat' using 2:xtic(1) title '3 drops', '' using 3 title '6 drops'
+`
+	return writeFile(dir, "fig5.gp", gp)
+}
+
+// writeFig6 emits one sequence-plot series per variant.
+func writeFig6(dir string) error {
+	res, err := rrtcp.RunFigure6(rrtcp.Figure6Config{Seeds: []int64{42}})
+	if err != nil {
+		return err
+	}
+	var plots []string
+	for _, p := range res.Panels {
+		var b strings.Builder
+		b.WriteString("# time_s packet_number\n")
+		for _, pt := range p.Flow0Seq {
+			fmt.Fprintf(&b, "%.6f %.0f\n", pt.X, pt.Y)
+		}
+		name := fmt.Sprintf("fig6-%s.dat", p.Variant)
+		if err := writeFile(dir, name, b.String()); err != nil {
+			return err
+		}
+		plots = append(plots, fmt.Sprintf("'%s' using 1:2 with points pt 7 ps 0.4 title '%s'", name, p.Variant))
+	}
+	gp := fmt.Sprintf(`set terminal png size 900,500
+set output 'fig6.png'
+set title 'Figure 6: first flow under RED gateways'
+set xlabel 'time (s)'
+set ylabel 'packet number'
+plot %s
+`, strings.Join(plots, ", \\\n     "))
+	return writeFile(dir, "fig6.gp", gp)
+}
+
+// writeFig7 emits measured windows per variant plus the two model curves.
+func writeFig7(dir string) error {
+	res, err := rrtcp.RunFigure7(rrtcp.Figure7Config{
+		Duration: 60 * time.Second,
+		Seeds:    []int64{1, 2},
+	})
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("# p model_sqrt padhye sack_window rr_window\n")
+	for _, p := range res.Config.LossRates {
+		sack, _ := res.Point(rrtcp.SACK, p)
+		rr, _ := res.Point(rrtcp.RR, p)
+		fmt.Fprintf(&b, "%.4f %.2f %.2f %.2f %.2f\n",
+			p, sack.ModelWindow, sack.PadhyeWindow, sack.Window, rr.Window)
+	}
+	if err := writeFile(dir, "fig7.dat", b.String()); err != nil {
+		return err
+	}
+	gp := `set terminal png size 800,500
+set output 'fig7.png'
+set title 'Figure 7: fitness to the square-root model'
+set xlabel 'packet loss rate p'
+set ylabel 'window = BW*RTT/MSS (packets)'
+set logscale x
+plot 'fig7.dat' using 1:2 with lines title 'C/sqrt(p)', \
+     'fig7.dat' using 1:3 with lines title 'Padhye', \
+     'fig7.dat' using 1:4 with linespoints title 'SACK', \
+     'fig7.dat' using 1:5 with linespoints title 'RR'
+`
+	return writeFile(dir, "fig7.gp", gp)
+}

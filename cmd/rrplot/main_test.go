@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunAllTargets(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "all"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []string{"fig5.dat", "fig5.gp", "fig6-rr.dat", "fig6.gp", "fig7.dat", "fig7.gp"}
+	for _, name := range want {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestFig5DataShape(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "fig5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig5.dat"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header + one row per default variant.
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5:\n%s", len(lines), data)
+	}
+	if !strings.HasPrefix(lines[0], "#") {
+		t.Fatal("missing header comment")
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			t.Fatalf("bad row %q", line)
+		}
+	}
+}
+
+func TestFig7DataMonotone(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "fig7"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7.dat"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few rows:\n%s", data)
+	}
+	var prevP float64
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			t.Fatalf("bad row %q", line)
+		}
+		vals := make([]float64, 5)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			vals[i] = v
+		}
+		p, model, padhye, sack, rr := vals[0], vals[1], vals[2], vals[3], vals[4]
+		if p <= prevP {
+			t.Fatalf("loss rates not increasing at %q", line)
+		}
+		if model <= 0 || padhye <= 0 || sack < 0 || rr < 0 {
+			t.Fatalf("implausible values in %q", line)
+		}
+		prevP = p
+	}
+}
+
+func TestRunUnknownTarget(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "fig9"}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}

@@ -1,0 +1,257 @@
+// Command rrsim regenerates the tables and figures of "Robust TCP
+// Congestion Recovery" (Wang & Shin, ICDCS 2001).
+//
+// Usage:
+//
+//	rrsim fig5 [-drops n]     Figure 5: drop-tail burst-loss throughput
+//	rrsim fig6 [-seed n]      Figure 6: RED-gateway sequence traces
+//	rrsim fig7 [-quick]       Figure 7: square-root-model fitness
+//	rrsim table5              Table 5: fairness matrix
+//	rrsim ackloss             §2.3 ACK-loss robustness sweep
+//	rrsim fairshare           §2.3 fair-share gateways (FIFO vs DRR)
+//	rrsim twoway              two-way traffic extension
+//	rrsim smoothstart         slow-start overshoot vs Smooth-start [21]
+//	rrsim bursty              Gilbert-Elliott correlated-loss sweep
+//	rrsim run <file.json>     run a user-defined scenario (see examples/scenarios)
+//	rrsim ablation [-drops n] RR design-choice ablations
+//	rrsim all [-quick]        everything above
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rrtcp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rrsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf(
+			"usage: rrsim {fig5|fig6|fig7|table5|ackloss|fairshare|twoway|smoothstart|bursty|ablation|run|all} [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	drops := fs.Int("drops", 3, "packets lost within one window (fig5/ablation)")
+	seed := fs.Int64("seed", 0, "simulation seed (0 = experiment default)")
+	quick := fs.Bool("quick", false, "smaller sweeps for fast runs (fig7/all)")
+	variants := fs.String("variants", "", "comma-separated variant list (fig5), e.g. tahoe,rr,fack")
+	delack := fs.Bool("delack", false, "run receivers with delayed ACKs (fig7)")
+	traceOut := fs.String("trace", "", "write flow 0's event trace as CSV to this file (run)")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	emit := renderText
+	if *asJSON {
+		emit = renderJSON
+	}
+
+	switch cmd {
+	case "fig5":
+		return runFigure5(emit, *drops, *seed, *variants)
+	case "fig6":
+		return runFigure6(emit, *seed)
+	case "fig7":
+		return runFigure7(emit, *quick, *delack)
+	case "table5":
+		return runTable5(emit, *seed)
+	case "ackloss":
+		return runAckLoss(emit)
+	case "fairshare":
+		return runFairShare(emit)
+	case "twoway":
+		return runTwoWay(emit)
+	case "smoothstart":
+		return runSmoothStart(emit)
+	case "bursty":
+		return runBursty(emit)
+	case "run":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: rrsim run [-json] [-trace out.csv] <scenario.json>")
+		}
+		return runScenario(emit, fs.Arg(0), *traceOut)
+	case "ablation":
+		return runAblation(emit, *drops)
+	case "all":
+		for _, d := range []int{3, 6} {
+			if err := runFigure5(emit, d, *seed, *variants); err != nil {
+				return err
+			}
+		}
+		if err := runFigure6(emit, *seed); err != nil {
+			return err
+		}
+		if err := runFigure7(emit, *quick, *delack); err != nil {
+			return err
+		}
+		if err := runTable5(emit, *seed); err != nil {
+			return err
+		}
+		if err := runAckLoss(emit); err != nil {
+			return err
+		}
+		if err := runFairShare(emit); err != nil {
+			return err
+		}
+		if err := runTwoWay(emit); err != nil {
+			return err
+		}
+		if err := runSmoothStart(emit); err != nil {
+			return err
+		}
+		if err := runBursty(emit); err != nil {
+			return err
+		}
+		return runAblation(emit, *drops)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// renderer emits one experiment result.
+type renderer func(rendered string, result any) error
+
+func renderText(rendered string, _ any) error {
+	fmt.Println(rendered)
+	return nil
+}
+
+func renderJSON(_ string, result any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(result)
+}
+
+func runFigure5(emit renderer, drops int, seed int64, variants string) error {
+	cfg := rrtcp.Figure5Config{Drops: drops, Seed: seed}
+	if variants != "" {
+		for _, name := range strings.Split(variants, ",") {
+			kind, err := rrtcp.ParseKind(name)
+			if err != nil {
+				return err
+			}
+			cfg.Variants = append(cfg.Variants, kind)
+		}
+	}
+	res, err := rrtcp.RunFigure5(cfg)
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runFigure6(emit renderer, seed int64) error {
+	res, err := rrtcp.RunFigure6(rrtcp.Figure6Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runFigure7(emit renderer, quick, delack bool) error {
+	cfg := rrtcp.Figure7Config{DelayedAck: delack}
+	if quick {
+		cfg.LossRates = []float64{0.001, 0.01, 0.05, 0.1}
+		cfg.Duration = 30 * time.Second
+		cfg.Seeds = []int64{1}
+	}
+	res, err := rrtcp.RunFigure7(cfg)
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runTable5(emit renderer, seed int64) error {
+	res, err := rrtcp.RunTable5(rrtcp.Table5Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runAckLoss(emit renderer) error {
+	res, err := rrtcp.RunAckLoss(rrtcp.AckLossConfig{})
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runFairShare(emit renderer) error {
+	res, err := rrtcp.RunFairShare(rrtcp.FairShareConfig{})
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runTwoWay(emit renderer) error {
+	res, err := rrtcp.RunTwoWay(rrtcp.TwoWayConfig{})
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runSmoothStart(emit renderer) error {
+	res, err := rrtcp.RunSmoothStart(rrtcp.SmoothStartConfig{})
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runBursty(emit renderer) error {
+	res, err := rrtcp.RunBursty(rrtcp.BurstyConfig{})
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}
+
+func runScenario(emit renderer, path, traceOut string) error {
+	spec, err := rrtcp.LoadScenarioFile(path)
+	if err != nil {
+		return err
+	}
+	var rep *rrtcp.ScenarioReport
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		rep, err = spec.RunWithTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	} else {
+		rep, err = spec.Run()
+		if err != nil {
+			return err
+		}
+	}
+	return emit(rep.RenderText(), rep)
+}
+
+func runAblation(emit renderer, drops int) error {
+	res, err := rrtcp.RunAblation(drops)
+	if err != nil {
+		return err
+	}
+	return emit(res.Render(), res)
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return buf.String(), runErr
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"fig5", "-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunFig5Text(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fig5", "-drops", "3"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Figure 5", "tahoe", "rr"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig5JSON(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fig5", "-json"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var decoded struct {
+		Rows []struct {
+			Variant    string  `json:"variant"`
+			GoodputBps float64 `json:"goodputBps"`
+			Finished   bool    `json:"finished"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(decoded.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(decoded.Rows))
+	}
+	for _, row := range decoded.Rows {
+		if !row.Finished || row.GoodputBps <= 0 {
+			t.Fatalf("bad row %+v", row)
+		}
+	}
+}
+
+func TestRunFairShareText(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fairshare"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "drr") || !strings.Contains(out, "fifo") {
+		t.Fatalf("output missing disciplines:\n%s", out)
+	}
+}
+
+func TestRunAblationText(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"ablation"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "rr (published)") {
+		t.Fatalf("output missing published row:\n%s", out)
+	}
+}
+
+func TestRunFig7Quick(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"fig7", "-quick"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "square-root") {
+		t.Fatalf("output missing title:\n%s", out)
+	}
+}
+
+func TestRunScenarioSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/s.json"
+	spec := `{"duration":"10s","flows":[{"kind":"rr","packets":50,"window":18}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := capture(t, func() error { return run([]string{"run", path}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "rr") || !strings.Contains(out, "fwd") {
+		t.Fatalf("scenario output wrong:\n%s", out)
+	}
+}
+
+func TestRunScenarioMissingArg(t *testing.T) {
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("missing scenario path accepted")
+	}
+}
+
+func TestRunScenarioJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/s.json"
+	spec := `{"duration":"5s","flows":[{"kind":"newreno","packets":20,"window":18}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := capture(t, func() error { return run([]string{"run", "-json", path}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep struct {
+		Flows []struct {
+			Kind     string `json:"kind"`
+			Finished bool   `json:"finished"`
+		} `json:"flows"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(rep.Flows) != 1 || !rep.Flows[0].Finished {
+		t.Fatalf("report wrong: %+v", rep)
+	}
+}
+
+func TestRunExampleScenarios(t *testing.T) {
+	for _, f := range []string{"burstloss.json", "red-contention.json", "twoway-fairqueue.json"} {
+		f := f
+		t.Run(f, func(t *testing.T) {
+			if _, err := capture(t, func() error {
+				return run([]string{"run", "../../examples/scenarios/" + f})
+			}); err != nil {
+				t.Fatalf("example scenario %s failed: %v", f, err)
+			}
+		})
+	}
+}
+
+func TestRunScenarioTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	spec := dir + "/s.json"
+	csvOut := dir + "/trace.csv"
+	if err := os.WriteFile(spec,
+		[]byte(`{"duration":"5s","flows":[{"kind":"rr","packets":20,"window":18}]}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"run", "-trace", csvOut, spec})
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(csvOut)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "time_s,event,seq,value") {
+		t.Fatalf("trace header wrong: %.60s", data)
+	}
+	if !strings.Contains(string(data), "send") {
+		t.Fatal("trace contains no send events")
+	}
+}
+
+func TestRunSmoothStartSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"smoothstart"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "smooth-start") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunBurstySubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"bursty", "-json"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var res struct {
+		Points []struct {
+			Variant     string  `json:"variant"`
+			BurstLength float64 `json:"burstLength"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+}

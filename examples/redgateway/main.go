@@ -1,0 +1,29 @@
+// Redgateway reproduces the paper's Figure 6 environment: ten TCP
+// flows of the same recovery variant share a 0.8 Mbps bottleneck behind
+// a RED gateway under heavy congestion. It prints the first flow's
+// sequence-number plot for New-Reno, SACK, and RR — the New-Reno panel
+// shows the stall the paper's Section 1 describes.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rrtcp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "redgateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	res, err := rrtcp.RunFigure6(rrtcp.Figure6Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}

@@ -1,0 +1,3 @@
+module rrtcp
+
+go 1.22

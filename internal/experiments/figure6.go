@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/tcp"
+	"rrtcp/internal/trace"
+	"rrtcp/internal/workload"
+)
+
+// Figure6Config parameterizes the RED-gateway experiment (paper §3.3,
+// Table 4, Figure 6): ten flows of the same variant share a RED
+// bottleneck under heavy congestion and the first flow's sequence-
+// number trace is plotted.
+type Figure6Config struct {
+	// Variants to compare; defaults to the paper's three panels
+	// (New-Reno, SACK, RR).
+	Variants []workload.Kind `json:"variants"`
+	// Flows sharing the bottleneck (paper: 10).
+	Flows int `json:"flows"`
+	// Duration of the simulation (paper: 6 s).
+	Duration sim.Time `json:"durationNs"`
+	// Seed for RED's random drops in the run whose trace is plotted.
+	Seed int64 `json:"seed"`
+	// Seeds, when longer than one entry, are averaged over for the
+	// throughput columns (the trace still comes from Seed). RED's
+	// random drops make any single 6-second window noisy.
+	Seeds []int64 `json:"seeds"`
+	// RED overrides the Table 4 gateway parameters when non-nil.
+	RED *netem.REDConfig `json:"red,omitempty"`
+}
+
+func (c *Figure6Config) fillDefaults() {
+	if len(c.Variants) == 0 {
+		c.Variants = []workload.Kind{workload.NewReno, workload.SACK, workload.RR}
+	}
+	if c.Flows <= 0 {
+		c.Flows = 10
+	}
+	if c.Duration <= 0 {
+		c.Duration = 6 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{c.Seed, 43, 44, 45, 46, 47, 48, 49}
+	}
+}
+
+// Figure6Panel is the outcome for one variant: the first flow's
+// sequence trace and throughput, plus aggregate statistics.
+type Figure6Panel struct {
+	Variant workload.Kind `json:"variant"`
+	// Flow0Seq is the (time, packet number) send/retransmit series of
+	// the first flow — the paper's sequence plot.
+	Flow0Seq []trace.Point `json:"flow0Seq"`
+	// Flow0GoodputBps is the first flow's effective throughput over
+	// the run.
+	Flow0GoodputBps float64 `json:"flow0GoodputBps"`
+	// Flow0Packets is the highest packet number the first flow had
+	// acknowledged by the end of the run.
+	Flow0Packets int64 `json:"flow0Packets"`
+	// Flow0Timeouts is the first flow's mean coarse-timeout count.
+	Flow0Timeouts float64 `json:"flow0Timeouts"`
+	// AggregateGoodputBps sums goodput across all flows.
+	AggregateGoodputBps float64 `json:"aggregateGoodputBps"`
+	// REDEarlyDrops / REDForcedDrops report gateway drop behaviour.
+	REDEarlyDrops  uint64 `json:"redEarlyDrops"`
+	REDForcedDrops uint64 `json:"redForcedDrops"`
+	// BottleneckUtilization is the mean fraction of the bottleneck's
+	// capacity in use — the paper claims RR keeps it highest by probing
+	// the new equilibrium while recovering.
+	BottleneckUtilization float64 `json:"bottleneckUtilization"`
+}
+
+// Figure6Result holds all panels.
+type Figure6Result struct {
+	Config Figure6Config  `json:"config"`
+	Panels []Figure6Panel `json:"panels"`
+}
+
+// Figure6 runs the RED scenario once per variant and seed. All flows
+// in one run use the same recovery scheme, as in the paper. The first
+// five flows start at t=0 and a new flow starts every 0.5 s afterwards;
+// all flows have infinite data. Throughput columns are means across
+// seeds; the sequence plot comes from the primary seed.
+func Figure6(cfg Figure6Config) (*Figure6Result, error) {
+	cfg.fillDefaults()
+	res := &Figure6Result{Config: cfg}
+	for _, kind := range cfg.Variants {
+		var agg Figure6Panel
+		for i, seed := range cfg.Seeds {
+			panel, err := figure6Run(cfg, kind, seed)
+			if err != nil {
+				return nil, fmt.Errorf("figure 6 (%v): %w", kind, err)
+			}
+			if seed == cfg.Seed || (i == 0 && agg.Flow0Seq == nil) {
+				agg.Flow0Seq = panel.Flow0Seq
+			}
+			agg.Variant = panel.Variant
+			agg.Flow0GoodputBps += panel.Flow0GoodputBps
+			agg.Flow0Packets += panel.Flow0Packets
+			agg.Flow0Timeouts += panel.Flow0Timeouts
+			agg.AggregateGoodputBps += panel.AggregateGoodputBps
+			agg.REDEarlyDrops += panel.REDEarlyDrops
+			agg.REDForcedDrops += panel.REDForcedDrops
+			agg.BottleneckUtilization += panel.BottleneckUtilization
+		}
+		n := int64(len(cfg.Seeds))
+		agg.Flow0GoodputBps /= float64(n)
+		agg.Flow0Packets /= n
+		agg.Flow0Timeouts /= float64(n)
+		agg.AggregateGoodputBps /= float64(n)
+		agg.REDEarlyDrops /= uint64(n)
+		agg.REDForcedDrops /= uint64(n)
+		agg.BottleneckUtilization /= float64(n)
+		res.Panels = append(res.Panels, agg)
+	}
+	return res, nil
+}
+
+func figure6Run(cfg Figure6Config, kind workload.Kind, seed int64) (Figure6Panel, error) {
+	sched := sim.NewScheduler(seed)
+	redCfg := netem.PaperREDConfig()
+	if cfg.RED != nil {
+		redCfg = *cfg.RED
+	}
+	red := netem.NewRED(redCfg, sched.Rand())
+
+	dcfg := netem.PaperDropTailConfig(cfg.Flows)
+	dcfg.ForwardQueue = red
+	d, err := netem.NewDumbbell(sched, dcfg)
+	if err != nil {
+		return Figure6Panel{}, err
+	}
+
+	specs := make([]workload.FlowSpec, cfg.Flows)
+	for i := range specs {
+		start := sim.Time(0)
+		// The first five flows start at time 0; then one every 0.5 s.
+		if i >= 5 {
+			start = time.Duration(i-4) * 500 * time.Millisecond
+		}
+		specs[i] = workload.FlowSpec{
+			Kind:    kind,
+			StartAt: start,
+			Bytes:   tcp.Infinite,
+			Window:  30,
+		}
+	}
+	flows, err := workload.InstallAll(sched, d, specs)
+	if err != nil {
+		return Figure6Panel{}, err
+	}
+
+	// Sample bottleneck utilization every 100 ms: bits forwarded per
+	// interval over the link capacity.
+	const sampleEvery = 100 * time.Millisecond
+	link := d.ForwardLink()
+	util := trace.NewSampler(sched, sampleEvery, trace.DeltaProbe(func() float64 {
+		return float64(link.TxBytes) * 8
+	}))
+	if err := util.Start(); err != nil {
+		return Figure6Panel{}, err
+	}
+
+	sched.Run(cfg.Duration)
+
+	panel := Figure6Panel{
+		Variant:        kind,
+		Flow0Seq:       flows[0].Trace.SeqSeries(int64(tcp.DefaultMSS)),
+		Flow0Timeouts:  float64(flows[0].Trace.Timeouts),
+		REDEarlyDrops:  red.EarlyDrops,
+		REDForcedDrops: red.ForcedDrops,
+	}
+	panel.Flow0GoodputBps = flows[0].Trace.GoodputBps(0, cfg.Duration)
+	panel.Flow0Packets = flows[0].Trace.BytesAcked / int64(tcp.DefaultMSS)
+	for _, f := range flows {
+		panel.AggregateGoodputBps += f.Trace.GoodputBps(0, cfg.Duration)
+	}
+	panel.BottleneckUtilization = util.Mean() / (dcfg.BottleneckBps * sampleEvery.Seconds())
+	return panel, nil
+}
+
+// Render returns the panels as a summary table followed by ASCII
+// sequence plots.
+func (r *Figure6Result) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Figure 6: first flow under RED gateways (%d flows, %.1fs)",
+			r.Config.Flows, r.Config.Duration.Seconds()),
+		Header: []string{"variant", "flow1 goodput", "flow1 pkts acked", "flow1 timeouts",
+			"aggregate", "utilization", "RED early/forced drops"},
+	}
+	for _, p := range r.Panels {
+		t.AddRow(p.Variant.String(), kbps(p.Flow0GoodputBps),
+			fmt.Sprintf("%d", p.Flow0Packets),
+			fmt.Sprintf("%.1f", p.Flow0Timeouts),
+			kbps(p.AggregateGoodputBps),
+			fmt.Sprintf("%.1f%%", p.BottleneckUtilization*100),
+			fmt.Sprintf("%d/%d", p.REDEarlyDrops, p.REDForcedDrops))
+	}
+	out := t.String()
+	for _, p := range r.Panels {
+		out += fmt.Sprintf("\nsequence plot (%s): packets sent vs time\n%s",
+			p.Variant, trace.RenderASCII(p.Flow0Seq, 72, 18))
+	}
+	return out
+}
+
+// Panel returns the panel for a variant, if present.
+func (r *Figure6Result) Panel(kind workload.Kind) (Figure6Panel, bool) {
+	for _, p := range r.Panels {
+		if p.Variant == kind {
+			return p, true
+		}
+	}
+	return Figure6Panel{}, false
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/workload"
+)
+
+// SmoothStartConfig parameterizes the slow-start overshoot experiment.
+// The paper cites its companion work (Wang, Xin, Reeves & Shin, ISCC
+// 2000 — reference [21], "Smooth-start") as an orthogonal optimization
+// that reduces the bursty losses slow start inflicts on a small
+// gateway buffer. We slow-start into the Table 3 bottleneck with and
+// without the refinement and count the damage.
+type SmoothStartConfig struct {
+	// Variant of the recovery scheme cleaning up afterwards.
+	Variant workload.Kind `json:"variant"`
+	// TransferPackets is the transfer size in packets.
+	TransferPackets int `json:"transferPackets"`
+	// InitialSSThresh forces a deep slow start (default 32, far above
+	// the ~18-packet pipe capacity).
+	InitialSSThresh float64 `json:"initialSSThresh"`
+	// Horizon caps each run.
+	Horizon sim.Time `json:"horizonNs"`
+	// Seed drives the scheduler.
+	Seed int64 `json:"seed"`
+}
+
+func (c *SmoothStartConfig) fillDefaults() {
+	if c.Variant == 0 {
+		c.Variant = workload.RR
+	}
+	if c.TransferPackets <= 0 {
+		c.TransferPackets = 200
+	}
+	if c.InitialSSThresh <= 0 {
+		c.InitialSSThresh = 32
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 120 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// SmoothStartRow is one slow-start flavour's outcome.
+type SmoothStartRow struct {
+	Label string `json:"label"`
+	// SlowStartDrops counts bottleneck drops during the first second —
+	// the slow-start overshoot burst.
+	SlowStartDrops uint64 `json:"slowStartDrops"`
+	// TotalDrops counts bottleneck drops over the whole run.
+	TotalDrops uint64 `json:"totalDrops"`
+	// TransferDelay is the completion time.
+	TransferDelay sim.Time `json:"transferDelayNs"`
+	// Finished reports completion within the horizon.
+	Finished bool `json:"finished"`
+}
+
+// SmoothStartResult compares classic against smooth slow start.
+type SmoothStartResult struct {
+	Config SmoothStartConfig `json:"config"`
+	Rows   []SmoothStartRow  `json:"rows"`
+}
+
+// SmoothStart runs the comparison.
+func SmoothStart(cfg SmoothStartConfig) (*SmoothStartResult, error) {
+	cfg.fillDefaults()
+	res := &SmoothStartResult{Config: cfg}
+	for _, smooth := range []bool{false, true} {
+		row, err := smoothStartRun(cfg, smooth)
+		if err != nil {
+			return nil, fmt.Errorf("smooth start (%t): %w", smooth, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func smoothStartRun(cfg SmoothStartConfig, smooth bool) (SmoothStartRow, error) {
+	sched := sim.NewScheduler(cfg.Seed)
+	dcfg := netem.PaperDropTailConfig(1)
+	d, err := netem.NewDumbbell(sched, dcfg)
+	if err != nil {
+		return SmoothStartRow{}, err
+	}
+	flow, err := workload.Install(sched, d, 0, workload.FlowSpec{
+		Kind:            cfg.Variant,
+		Bytes:           int64(cfg.TransferPackets) * 1000,
+		Window:          64,
+		InitialSSThresh: cfg.InitialSSThresh,
+		SmoothStart:     smooth,
+	})
+	if err != nil {
+		return SmoothStartRow{}, err
+	}
+
+	// Snapshot drops after the slow-start window.
+	var earlyDrops uint64
+	if _, err := sched.Schedule(time.Second, func() {
+		earlyDrops = d.BottleneckQueue().Drops
+	}); err != nil {
+		return SmoothStartRow{}, err
+	}
+
+	sched.Run(cfg.Horizon)
+
+	label := "classic slow start"
+	if smooth {
+		label = "smooth-start [21]"
+	}
+	row := SmoothStartRow{
+		Label:          label,
+		SlowStartDrops: earlyDrops,
+		TotalDrops:     d.BottleneckQueue().Drops,
+	}
+	if delay, ok := flow.Trace.TransferDelay(); ok {
+		row.Finished = true
+		row.TransferDelay = delay
+	}
+	return row, nil
+}
+
+// Render returns the comparison as a text table.
+func (r *SmoothStartResult) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Smooth-start [21]: %s slow-starting into the 8-packet Table 3 buffer",
+			r.Config.Variant),
+		Header: []string{"slow start", "overshoot drops", "total drops", "transfer delay"},
+	}
+	for _, row := range r.Rows {
+		delay := "DNF"
+		if row.Finished {
+			delay = fmt.Sprintf("%.3fs", row.TransferDelay.Seconds())
+		}
+		t.AddRow(row.Label, fmt.Sprintf("%d", row.SlowStartDrops),
+			fmt.Sprintf("%d", row.TotalDrops), delay)
+	}
+	return t.String()
+}
+
+// Row returns the outcome for smooth (true) or classic (false).
+func (r *SmoothStartResult) Row(smooth bool) (SmoothStartRow, bool) {
+	want := "classic slow start"
+	if smooth {
+		want = "smooth-start [21]"
+	}
+	for _, row := range r.Rows {
+		if row.Label == want {
+			return row, true
+		}
+	}
+	return SmoothStartRow{}, false
+}

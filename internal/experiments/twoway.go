@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/stats"
+	"rrtcp/internal/tcp"
+	"rrtcp/internal/workload"
+)
+
+// TwoWayConfig parameterizes the two-way-traffic extension experiment.
+// The paper's §2.3 leans on the observation (Zhang, Shenker & Clark —
+// its [22]) that two-way traffic through drop-tail gateways interleaves
+// data with ACKs, compressing and dropping ACK runs; a recovery scheme
+// that relies on the duplicate-ACK clock must survive that. We run
+// forward transfers of each variant while reverse-direction TCP flows
+// congest the ACK path with real data.
+type TwoWayConfig struct {
+	// Variants of the measured forward flow.
+	Variants []workload.Kind
+	// ReverseFlows is the number of opposing data flows.
+	ReverseFlows int
+	// TransferPackets is the forward transfer size in packets.
+	TransferPackets int
+	// ReverseBuffer is the shared R2→R1 buffer in packets.
+	ReverseBuffer int
+	// Horizon caps each run.
+	Horizon sim.Time
+	// Seeds to average over (start phases are jittered per seed).
+	Seeds []int64
+}
+
+func (c *TwoWayConfig) fillDefaults() {
+	if len(c.Variants) == 0 {
+		c.Variants = []workload.Kind{workload.NewReno, workload.SACK, workload.RR}
+	}
+	if c.ReverseFlows <= 0 {
+		c.ReverseFlows = 2
+	}
+	if c.TransferPackets <= 0 {
+		c.TransferPackets = 200
+	}
+	if c.ReverseBuffer <= 0 {
+		c.ReverseBuffer = 8
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 300 * time.Second
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{1, 2, 3, 4, 5}
+	}
+}
+
+// TwoWayRow is one variant's outcome under two-way traffic.
+type TwoWayRow struct {
+	Variant workload.Kind `json:"variant"`
+	// MeanDelay is the forward transfer's mean completion time.
+	MeanDelay sim.Time `json:"meanDelayNs"`
+	// MeanAckLoss is the mean fraction of ACKs lost on the shared
+	// reverse path.
+	MeanAckLoss float64 `json:"meanAckLoss"`
+	// MeanTimeouts is the forward flow's mean coarse-timeout count.
+	MeanTimeouts float64 `json:"meanTimeouts"`
+	// Completed counts finished runs out of Runs.
+	Completed int `json:"completed"`
+	Runs      int `json:"runs"`
+	// DelayCI95Seconds is the 95% confidence half-width of MeanDelay.
+	DelayCI95Seconds float64 `json:"delayCI95Seconds,omitempty"`
+}
+
+// TwoWayResult aggregates the comparison.
+type TwoWayResult struct {
+	Config TwoWayConfig `json:"config"`
+	Rows   []TwoWayRow  `json:"rows"`
+}
+
+// TwoWay runs the experiment for each variant and seed.
+func TwoWay(cfg TwoWayConfig) (*TwoWayResult, error) {
+	cfg.fillDefaults()
+	res := &TwoWayResult{Config: cfg}
+	for _, kind := range cfg.Variants {
+		row := TwoWayRow{Variant: kind, Runs: len(cfg.Seeds)}
+		var delays []float64
+		var ackLossSum, timeoutSum float64
+		for _, seed := range cfg.Seeds {
+			delay, ackLoss, timeouts, finished, err := twoWayRun(cfg, kind, seed)
+			if err != nil {
+				return nil, fmt.Errorf("two-way (%v): %w", kind, err)
+			}
+			ackLossSum += ackLoss
+			timeoutSum += float64(timeouts)
+			if finished {
+				row.Completed++
+				delays = append(delays, delay.Seconds())
+			}
+		}
+		if row.Completed > 0 {
+			summary := stats.Summarize(delays)
+			row.MeanDelay = sim.Time(summary.Mean * float64(time.Second))
+			row.DelayCI95Seconds = summary.CI95
+		}
+		row.MeanAckLoss = ackLossSum / float64(len(cfg.Seeds))
+		row.MeanTimeouts = timeoutSum / float64(len(cfg.Seeds))
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func twoWayRun(cfg TwoWayConfig, kind workload.Kind, seed int64) (sim.Time, float64, uint64, bool, error) {
+	sched := sim.NewScheduler(seed)
+	dcfg := netem.PaperDropTailConfig(cfg.ReverseFlows + 1)
+	// Both directions congested: Table 3's 8-packet buffer forward, a
+	// small shared buffer on the reverse path so ACKs compete with the
+	// opposing data for real.
+	dcfg.ReverseQueue = netem.NewDropTail(cfg.ReverseBuffer)
+	d, err := netem.NewDumbbell(sched, dcfg)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+
+	fwd, err := workload.Install(sched, d, 0, workload.FlowSpec{
+		Kind:   kind,
+		Bytes:  int64(cfg.TransferPackets) * 1000,
+		Window: 18,
+	})
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	for i := 1; i <= cfg.ReverseFlows; i++ {
+		jitter := time.Duration(sched.Rand().Int63n(int64(200 * time.Millisecond)))
+		if _, err := workload.InstallReverse(sched, d, i, workload.FlowSpec{
+			Kind:    workload.Reno,
+			Bytes:   tcp.Infinite,
+			Window:  18,
+			StartAt: jitter,
+		}); err != nil {
+			return 0, 0, 0, false, err
+		}
+	}
+
+	sched.Run(cfg.Horizon)
+
+	acksSent := float64(fwd.Receiver.Segments)
+	acksGot := float64(len(fwd.Trace.SamplesOf(ackRecvKind)))
+	ackLoss := 0.0
+	if acksSent > 0 && acksGot < acksSent {
+		ackLoss = 1 - acksGot/acksSent
+	}
+	delay, ok := fwd.Trace.TransferDelay()
+	return delay, ackLoss, fwd.Trace.Timeouts, ok, nil
+}
+
+// Render returns the comparison as a text table.
+func (r *TwoWayResult) Render() string {
+	t := Table{
+		Title: fmt.Sprintf("Two-way traffic: forward transfer vs %d reverse TCP flows (drop-tail both ways)",
+			r.Config.ReverseFlows),
+		Header: []string{"variant", "mean delay", "mean ACK loss", "mean timeouts", "completed"},
+	}
+	for _, row := range r.Rows {
+		delay := "DNF"
+		if row.Completed > 0 {
+			delay = fmt.Sprintf("%.3fs ±%.2f", row.MeanDelay.Seconds(), row.DelayCI95Seconds)
+		}
+		t.AddRow(row.Variant.String(), delay,
+			fmt.Sprintf("%.1f%%", row.MeanAckLoss*100),
+			fmt.Sprintf("%.1f", row.MeanTimeouts),
+			fmt.Sprintf("%d/%d", row.Completed, row.Runs))
+	}
+	return t.String()
+}
+
+// Row returns the outcome for a variant.
+func (r *TwoWayResult) Row(kind workload.Kind) (TwoWayRow, bool) {
+	for _, row := range r.Rows {
+		if row.Variant == kind {
+			return row, true
+		}
+	}
+	return TwoWayRow{}, false
+}

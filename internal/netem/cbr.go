@@ -1,0 +1,67 @@
+package netem
+
+import (
+	"time"
+
+	"rrtcp/internal/sim"
+)
+
+// CBRSource emits fixed-size packets at a constant bit rate — the
+// simple background load used by the fair-share experiment to congest
+// a link without TCP dynamics.
+type CBRSource struct {
+	sched *sim.Scheduler
+	dst   Node
+	flow  int
+	size  int
+	gap   sim.Time
+
+	running bool
+	stopped bool
+
+	// Sent counts emitted packets.
+	Sent uint64
+}
+
+// NewCBR builds a source sending size-byte packets at rateBps into dst.
+func NewCBR(sched *sim.Scheduler, flow int, rateBps float64, size int, dst Node) *CBRSource {
+	if size < 1 {
+		size = 1
+	}
+	gap := sim.Time(float64(size*8) / rateBps * float64(time.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	return &CBRSource{sched: sched, dst: dst, flow: flow, size: size, gap: gap}
+}
+
+// Start schedules the first emission after delay.
+func (c *CBRSource) Start(delay sim.Time) error {
+	if c.running {
+		return nil
+	}
+	c.running = true
+	_, err := c.sched.Schedule(delay, c.emit)
+	return err
+}
+
+// Stop halts emission after the next tick.
+func (c *CBRSource) Stop() { c.stopped = true }
+
+func (c *CBRSource) emit() {
+	if c.stopped {
+		return
+	}
+	c.Sent++
+	c.dst.Receive(&Packet{
+		ID:   NextID(),
+		Flow: c.flow,
+		Kind: Data,
+		Seq:  int64(c.Sent) * int64(c.size),
+		Len:  c.size,
+		Size: c.size,
+	})
+	if _, err := c.sched.Schedule(c.gap, c.emit); err != nil {
+		c.stopped = true
+	}
+}

@@ -1,0 +1,131 @@
+package netem
+
+import "rrtcp/internal/sim"
+
+// DRRQueue is a deficit-round-robin fair queue (Shreedhar & Varghese
+// 1996): each flow gets its own FIFO and a byte quantum per round, so a
+// 40-byte ACK stream claims its fair share with almost no buffer
+// pressure from competing 1000-byte data flows. The paper's §2.3
+// argues that with such per-flow fair sharing at routers, ACK packets
+// are far less likely to drop than data packets; the fairshare
+// experiment tests exactly that.
+type DRRQueue struct {
+	quantum int
+	limit   int
+
+	queues  map[int][]*Packet
+	deficit map[int]int
+	active  []int // flows with queued packets, round-robin order
+	fresh   map[int]bool
+	total   int
+
+	// Drops counts packets rejected, by flow.
+	Drops map[int]uint64
+}
+
+var _ QueueDiscipline = (*DRRQueue)(nil)
+
+// NewDRR builds a fair queue with the given per-round byte quantum and
+// a total buffer limit in packets.
+func NewDRR(quantumBytes, limitPackets int) *DRRQueue {
+	if quantumBytes < 1 {
+		quantumBytes = 1
+	}
+	if limitPackets < 1 {
+		limitPackets = 1
+	}
+	return &DRRQueue{
+		quantum: quantumBytes,
+		limit:   limitPackets,
+		queues:  make(map[int][]*Packet),
+		deficit: make(map[int]int),
+		fresh:   make(map[int]bool),
+		Drops:   make(map[int]uint64),
+	}
+}
+
+// Enqueue implements QueueDiscipline. When the shared buffer is full,
+// the packet at the tail of the longest per-flow queue is evicted
+// (longest-queue drop), which is what protects low-rate flows such as
+// ACK streams.
+func (d *DRRQueue) Enqueue(p *Packet, _ sim.Time) bool {
+	if d.total >= d.limit {
+		victim := d.longestFlow()
+		if victim == p.Flow || victim == -1 {
+			d.Drops[p.Flow]++
+			return false
+		}
+		q := d.queues[victim]
+		dropped := q[len(q)-1]
+		d.queues[victim] = q[:len(q)-1]
+		d.Drops[dropped.Flow]++
+		d.total--
+		if len(d.queues[victim]) == 0 {
+			d.deactivate(victim)
+		}
+	}
+	if len(d.queues[p.Flow]) == 0 {
+		d.active = append(d.active, p.Flow)
+		d.fresh[p.Flow] = true
+	}
+	d.queues[p.Flow] = append(d.queues[p.Flow], p)
+	d.total++
+	return true
+}
+
+func (d *DRRQueue) longestFlow() int {
+	longest, bestLen := -1, 0
+	for _, f := range d.active {
+		if l := len(d.queues[f]); l > bestLen {
+			longest, bestLen = f, l
+		}
+	}
+	return longest
+}
+
+func (d *DRRQueue) deactivate(flow int) {
+	for i, f := range d.active {
+		if f == flow {
+			d.active = append(d.active[:i], d.active[i+1:]...)
+			break
+		}
+	}
+	d.deficit[flow] = 0
+	delete(d.fresh, flow)
+}
+
+// Dequeue implements QueueDiscipline with the standard DRR round.
+func (d *DRRQueue) Dequeue() *Packet {
+	for d.total > 0 {
+		if len(d.active) == 0 {
+			return nil
+		}
+		flow := d.active[0]
+		if d.fresh[flow] {
+			d.deficit[flow] += d.quantum
+			d.fresh[flow] = false
+		}
+		q := d.queues[flow]
+		if len(q) > 0 && q[0].Size <= d.deficit[flow] {
+			p := q[0]
+			d.queues[flow] = q[1:]
+			d.deficit[flow] -= p.Size
+			d.total--
+			if len(d.queues[flow]) == 0 {
+				d.deactivate(flow)
+			}
+			return p
+		}
+		// Flow exhausted its deficit: move it to the back of the round
+		// and credit it a fresh quantum on its next turn.
+		d.active = append(d.active[1:], flow)
+		d.fresh[flow] = true
+	}
+	return nil
+}
+
+// Len implements QueueDiscipline.
+func (d *DRRQueue) Len() int { return d.total }
+
+// FlowLen reports one flow's queued packets (for tests).
+func (d *DRRQueue) FlowLen(flow int) int { return len(d.queues[flow]) }

@@ -1,0 +1,86 @@
+package netem
+
+import "math/rand"
+
+// GilbertLoss is the two-state Gilbert-Elliott loss model: a Markov
+// chain alternating between a good state (no drops) and a bad state
+// (drops with high probability), producing the *correlated* bursty
+// losses the paper's introduction reports as common in the Internet
+// (Paxson — its [18]) and that RR is designed to survive. The chain
+// advances once per data packet.
+type GilbertLoss struct {
+	// PGoodToBad is the per-packet probability of entering the bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-packet probability of leaving the bad state.
+	PBadToGood float64
+	// PDropBad is the drop probability while in the bad state (1 =
+	// classic Gilbert).
+	PDropBad float64
+	// Dst receives surviving packets.
+	Dst Node
+
+	rng *rand.Rand
+	bad bool
+
+	// Dropped and Forwarded count outcomes.
+	Dropped   uint64
+	Forwarded uint64
+}
+
+var (
+	_ Node      = (*GilbertLoss)(nil)
+	_ DstSetter = (*GilbertLoss)(nil)
+)
+
+// SetDst implements DstSetter.
+func (g *GilbertLoss) SetDst(n Node) { g.Dst = n }
+
+// NewGilbertLoss builds the model in the good state.
+//
+// The stationary loss rate is PDropBad · πbad with
+// πbad = PGoodToBad / (PGoodToBad + PBadToGood), and the mean burst
+// length is PDropBad / PBadToGood packets.
+func NewGilbertLoss(pGoodToBad, pBadToGood, pDropBad float64, rng *rand.Rand, dst Node) *GilbertLoss {
+	return &GilbertLoss{
+		PGoodToBad: pGoodToBad,
+		PBadToGood: pBadToGood,
+		PDropBad:   pDropBad,
+		Dst:        dst,
+		rng:        rng,
+	}
+}
+
+// MeanLossRate returns the model's stationary drop probability.
+func (g *GilbertLoss) MeanLossRate() float64 {
+	denom := g.PGoodToBad + g.PBadToGood
+	if denom <= 0 {
+		return 0
+	}
+	return g.PDropBad * g.PGoodToBad / denom
+}
+
+// InBadState reports the current chain state (for tests).
+func (g *GilbertLoss) InBadState() bool { return g.bad }
+
+// Receive implements Node. ACKs pass through untouched, matching the
+// paper's forward-path loss setup.
+func (g *GilbertLoss) Receive(p *Packet) {
+	if p.Kind != Data {
+		g.Dst.Receive(p)
+		return
+	}
+	// Advance the chain.
+	if g.bad {
+		if g.rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else if g.rng.Float64() < g.PGoodToBad {
+		g.bad = true
+	}
+	if g.bad && g.rng.Float64() < g.PDropBad {
+		g.Dropped++
+		return
+	}
+	g.Forwarded++
+	g.Dst.Receive(p)
+}

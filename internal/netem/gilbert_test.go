@@ -1,0 +1,82 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGilbertStationaryLossRate(t *testing.T) {
+	// πbad = 0.01/(0.01+0.25) ≈ 0.0385; with PDropBad=1 the loss rate
+	// is the same.
+	sink := &collector{}
+	g := NewGilbertLoss(0.01, 0.25, 1.0, rand.New(rand.NewSource(1)), sink)
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		g.Receive(pkt(i))
+	}
+	want := g.MeanLossRate()
+	got := float64(g.Dropped) / n
+	if math.Abs(got-want) > 0.006 {
+		t.Fatalf("loss rate %f, stationary %f", got, want)
+	}
+}
+
+func TestGilbertLossesAreBursty(t *testing.T) {
+	// Compare run lengths: with PBadToGood=0.25 the mean burst is 4
+	// packets, far above the ~1 of i.i.d. loss at the same rate.
+	sink := &collector{}
+	g := NewGilbertLoss(0.01, 0.25, 1.0, rand.New(rand.NewSource(2)), sink)
+	const n = 100000
+	var bursts, dropped int
+	inBurst := false
+	for i := uint64(0); i < n; i++ {
+		before := g.Dropped
+		g.Receive(pkt(i))
+		wasDropped := g.Dropped > before
+		if wasDropped {
+			dropped++
+			if !inBurst {
+				bursts++
+			}
+		}
+		inBurst = wasDropped
+	}
+	if bursts == 0 {
+		t.Fatal("no loss bursts")
+	}
+	meanBurst := float64(dropped) / float64(bursts)
+	if meanBurst < 2.5 {
+		t.Fatalf("mean burst length %f, want ≥2.5 (correlated losses)", meanBurst)
+	}
+}
+
+func TestGilbertSparesAcks(t *testing.T) {
+	sink := &collector{}
+	g := NewGilbertLoss(1, 0, 1, rand.New(rand.NewSource(1)), sink) // always bad
+	g.Receive(&Packet{Kind: Ack, AckNo: 1000, Size: 40})
+	if len(sink.pkts) != 1 {
+		t.Fatal("ACK dropped")
+	}
+	g.Receive(pkt(1))
+	if len(sink.pkts) != 1 {
+		t.Fatal("data survived the permanent bad state")
+	}
+	if !g.InBadState() {
+		t.Fatal("state accessor")
+	}
+}
+
+func TestGilbertZeroRates(t *testing.T) {
+	sink := &collector{}
+	g := NewGilbertLoss(0, 0, 1, rand.New(rand.NewSource(1)), sink)
+	for i := uint64(0); i < 1000; i++ {
+		g.Receive(pkt(i))
+	}
+	if g.Dropped != 0 {
+		t.Fatalf("dropped %d with PGoodToBad=0", g.Dropped)
+	}
+	if g.MeanLossRate() != 0 {
+		t.Fatal("mean loss rate with degenerate chain")
+	}
+}

@@ -1,0 +1,134 @@
+package netem
+
+import (
+	"time"
+
+	"rrtcp/internal/sim"
+)
+
+// Link is a point-to-point unidirectional link with a fixed bandwidth
+// and propagation delay, fed by an attached queue. It models the
+// (transmission + propagation) pipeline of an ns-2 duplex-link half:
+// packets are serialized one at a time at the link rate, then propagate
+// for Delay before arriving at the downstream node.
+type Link struct {
+	sched *sim.Scheduler
+	// BandwidthBps is the link rate in bits per second.
+	BandwidthBps float64
+	// Delay is the one-way propagation delay.
+	Delay sim.Time
+	// Dst receives packets after transmission + propagation.
+	Dst Node
+
+	queue *Queue
+	busy  bool
+
+	// TxPackets and TxBytes count transmitted traffic.
+	TxPackets uint64
+	TxBytes   uint64
+}
+
+var _ Node = (*Link)(nil)
+
+// NewLink builds a link draining the given queue discipline. The queue
+// may be nil, in which case an unbounded FIFO is used (useful for the
+// uncongested side links).
+func NewLink(sched *sim.Scheduler, bandwidthBps float64, delay sim.Time, q QueueDiscipline, dst Node) *Link {
+	if q == nil {
+		q = NewDropTail(1 << 30)
+	}
+	l := &Link{
+		sched:        sched,
+		BandwidthBps: bandwidthBps,
+		Delay:        delay,
+		Dst:          dst,
+	}
+	l.queue = &Queue{disc: q, sched: sched}
+	return l
+}
+
+// Queue returns the link's attached queue, for inspection in tests and
+// traces.
+func (l *Link) Queue() *Queue { return l.queue }
+
+// Receive implements Node: enqueue the packet and start transmitting if
+// the link is idle.
+func (l *Link) Receive(p *Packet) {
+	if !l.queue.enqueue(p) {
+		return // dropped by the discipline
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+// TransmissionDelay returns the serialization time of a packet of the
+// given size at the link rate.
+func (l *Link) TransmissionDelay(sizeBytes int) sim.Time {
+	seconds := float64(sizeBytes*8) / l.BandwidthBps
+	return sim.Time(seconds * float64(time.Second))
+}
+
+func (l *Link) transmitNext() {
+	p := l.queue.dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	txDelay := l.TransmissionDelay(p.Size)
+	l.TxPackets++
+	l.TxBytes += uint64(p.Size)
+	// The packet leaves the queue now and arrives after tx+prop delay;
+	// the link is free to start the next packet after tx delay alone.
+	if _, err := l.sched.Schedule(txDelay+l.Delay, func() { l.Dst.Receive(p) }); err != nil {
+		l.busy = false
+		return
+	}
+	if _, err := l.sched.Schedule(txDelay, l.transmitNext); err != nil {
+		l.busy = false
+	}
+}
+
+// Queue wraps a QueueDiscipline with occupancy accounting shared by all
+// disciplines.
+type Queue struct {
+	disc  QueueDiscipline
+	sched *sim.Scheduler
+
+	// Drops counts packets rejected by the discipline.
+	Drops uint64
+	// Enqueued counts packets accepted.
+	Enqueued uint64
+}
+
+func (q *Queue) enqueue(p *Packet) bool {
+	if !q.disc.Enqueue(p, q.sched.Now()) {
+		q.Drops++
+		return false
+	}
+	q.Enqueued++
+	return true
+}
+
+// idleMarker is implemented by disciplines (RED) that need to know when
+// the queue drains, so average-queue aging has a timestamp.
+type idleMarker interface {
+	MarkIdle(now sim.Time)
+}
+
+func (q *Queue) dequeue() *Packet {
+	p := q.disc.Dequeue()
+	if q.disc.Len() == 0 {
+		if m, ok := q.disc.(idleMarker); ok {
+			m.MarkIdle(q.sched.Now())
+		}
+	}
+	return p
+}
+
+// Len reports the current number of queued packets.
+func (q *Queue) Len() int { return q.disc.Len() }
+
+// Discipline exposes the underlying queue discipline.
+func (q *Queue) Discipline() QueueDiscipline { return q.disc }

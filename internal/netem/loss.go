@@ -1,0 +1,156 @@
+package netem
+
+import "math/rand"
+
+// DstSetter is implemented by loss modules whose downstream node the
+// topology wires up when the module is installed at a gateway.
+type DstSetter interface {
+	SetDst(Node)
+}
+
+// UniformLoss drops data packets independently with a fixed probability
+// before forwarding the rest downstream. It reproduces the artificial
+// uniform random losses the paper introduces at gateway R1 for the
+// square-root-model experiment (Section 4). ACKs pass through
+// untouched, matching the paper's forward-path-only loss setup.
+type UniformLoss struct {
+	// Rate is the per-packet drop probability in [0, 1].
+	Rate float64
+	// DropAcks extends the losses to ACK packets (used by the ACK-loss
+	// robustness experiments of Section 2.3).
+	DropAcks bool
+	// Dst receives surviving packets.
+	Dst Node
+
+	rng *rand.Rand
+
+	// Dropped and Forwarded count outcomes.
+	Dropped   uint64
+	Forwarded uint64
+}
+
+var (
+	_ Node      = (*UniformLoss)(nil)
+	_ DstSetter = (*UniformLoss)(nil)
+)
+
+// SetDst implements DstSetter.
+func (u *UniformLoss) SetDst(n Node) { u.Dst = n }
+
+// NewUniformLoss builds a loss module using the given deterministic
+// random source.
+func NewUniformLoss(rate float64, rng *rand.Rand, dst Node) *UniformLoss {
+	return &UniformLoss{Rate: rate, Dst: dst, rng: rng}
+}
+
+// Receive implements Node.
+func (u *UniformLoss) Receive(p *Packet) {
+	eligible := p.Kind == Data || u.DropAcks
+	if eligible && u.rng.Float64() < u.Rate {
+		u.Dropped++
+		return
+	}
+	u.Forwarded++
+	u.Dst.Receive(p)
+}
+
+// SeqLoss drops specific (flow, first-transmission sequence) pairs
+// exactly once each, then forwards everything. It pins the paper's
+// engineered drop patterns — "the buffer size is set to achieve the
+// desired packet loss pattern" — deterministically: e.g. 3 or 6 lost
+// packets within one window of flow 1 for Figure 5. Retransmissions of
+// a dropped sequence are never re-dropped unless DropRetransmits lists
+// them.
+type SeqLoss struct {
+	// Dst receives surviving packets.
+	Dst Node
+
+	pending map[int]map[int64]bool // flow -> seq -> still to drop
+	rtx     map[int]map[int64]bool // flow -> seq -> drop the retransmission too
+	acks    map[int]map[int64]bool // flow -> ackno -> drop the next such ACK
+
+	// Dropped counts packets removed.
+	Dropped uint64
+}
+
+var (
+	_ Node      = (*SeqLoss)(nil)
+	_ DstSetter = (*SeqLoss)(nil)
+)
+
+// SetDst implements DstSetter.
+func (s *SeqLoss) SetDst(n Node) { s.Dst = n }
+
+// NewSeqLoss builds a deterministic loss injector.
+func NewSeqLoss(dst Node) *SeqLoss {
+	return &SeqLoss{
+		Dst:     dst,
+		pending: make(map[int]map[int64]bool),
+		rtx:     make(map[int]map[int64]bool),
+		acks:    make(map[int]map[int64]bool),
+	}
+}
+
+// Drop registers the first transmission of the given byte sequence
+// numbers of a flow to be dropped.
+func (s *SeqLoss) Drop(flow int, seqs ...int64) {
+	m := s.pending[flow]
+	if m == nil {
+		m = make(map[int64]bool, len(seqs))
+		s.pending[flow] = m
+	}
+	for _, q := range seqs {
+		m[q] = true
+	}
+}
+
+// DropRetransmit additionally drops the first retransmission of the
+// given sequences, to exercise the paper's retransmission-loss /
+// timeout path.
+func (s *SeqLoss) DropRetransmit(flow int, seqs ...int64) {
+	m := s.rtx[flow]
+	if m == nil {
+		m = make(map[int64]bool, len(seqs))
+		s.rtx[flow] = m
+	}
+	for _, q := range seqs {
+		m[q] = true
+	}
+}
+
+// DropAck registers the next ACK carrying each given cumulative
+// acknowledgment number of a flow to be dropped (reverse-path loss,
+// §2.3).
+func (s *SeqLoss) DropAck(flow int, ackNos ...int64) {
+	m := s.acks[flow]
+	if m == nil {
+		m = make(map[int64]bool, len(ackNos))
+		s.acks[flow] = m
+	}
+	for _, a := range ackNos {
+		m[a] = true
+	}
+}
+
+// Receive implements Node.
+func (s *SeqLoss) Receive(p *Packet) {
+	if p.Kind == Ack {
+		if set := s.acks[p.Flow]; set != nil && set[p.AckNo] {
+			delete(set, p.AckNo)
+			s.Dropped++
+			return
+		}
+	}
+	if p.Kind == Data {
+		set := s.pending[p.Flow]
+		if p.Retransmit {
+			set = s.rtx[p.Flow]
+		}
+		if set != nil && set[p.Seq] {
+			delete(set, p.Seq)
+			s.Dropped++
+			return
+		}
+	}
+	s.Dst.Receive(p)
+}

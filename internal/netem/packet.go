@@ -1,0 +1,96 @@
+// Package netem models the network elements the paper's ns-2 scenarios
+// use: packets, point-to-point links with transmission and propagation
+// delay, finite-buffer FIFO (drop-tail) queues, RED queues, random and
+// deterministic loss injectors, and the dumbbell topology of Figure 4.
+package netem
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// _idCounter hands out process-unique packet IDs for tracing.
+var _idCounter atomic.Uint64
+
+// NextID returns a fresh packet ID.
+func NextID() uint64 { return _idCounter.Add(1) }
+
+// SACKBlock describes one contiguous block of out-of-order data held at
+// the receiver, reported in ACKs when the SACK option is enabled.
+// Edges are byte sequence numbers: [Start, End).
+type SACKBlock struct {
+	Start int64
+	End   int64
+}
+
+// PacketKind distinguishes data segments from acknowledgments.
+type PacketKind int
+
+// Packet kinds.
+const (
+	Data PacketKind = iota + 1
+	Ack
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k PacketKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	default:
+		return fmt.Sprintf("PacketKind(%d)", int(k))
+	}
+}
+
+// Packet is a simulated TCP segment or acknowledgment. Sequence fields
+// are byte sequence numbers, as in a real TCP, though the simulations
+// always use MSS-sized segments.
+type Packet struct {
+	// ID uniquely identifies the packet instance (retransmissions get
+	// fresh IDs), for tracing.
+	ID uint64
+	// Flow identifies the connection the packet belongs to.
+	Flow int
+	// Kind says whether this is a data segment or an ACK.
+	Kind PacketKind
+	// Seq is the first byte carried (data) or is unused (ACK).
+	Seq int64
+	// Len is the number of payload bytes carried (data only).
+	Len int
+	// AckNo is the cumulative acknowledgment (ACK only): the next byte
+	// the receiver expects.
+	AckNo int64
+	// SACK carries up to three selective-acknowledgment blocks.
+	SACK []SACKBlock
+	// Size is the wire size in bytes, used for transmission delay and
+	// queue accounting.
+	Size int
+	// Retransmit marks retransmitted data segments, for tracing.
+	Retransmit bool
+}
+
+// EndSeq returns the sequence number one past the last byte carried.
+func (p *Packet) EndSeq() int64 { return p.Seq + int64(p.Len) }
+
+// String implements fmt.Stringer for trace output.
+func (p *Packet) String() string {
+	if p.Kind == Ack {
+		return fmt.Sprintf("ack{flow=%d ackno=%d sack=%v}", p.Flow, p.AckNo, p.SACK)
+	}
+	return fmt.Sprintf("data{flow=%d seq=%d len=%d rtx=%t}", p.Flow, p.Seq, p.Len, p.Retransmit)
+}
+
+// Node consumes packets. Links deliver to Nodes; queues, routers, TCP
+// endpoints, and loss injectors all implement Node.
+type Node interface {
+	// Receive hands the node a packet. Ownership transfers to the node.
+	Receive(p *Packet)
+}
+
+// NodeFunc adapts a function to the Node interface.
+type NodeFunc func(p *Packet)
+
+// Receive implements Node.
+func (f NodeFunc) Receive(p *Packet) { f(p) }

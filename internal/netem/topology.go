@@ -1,0 +1,167 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"rrtcp/internal/sim"
+)
+
+// Demux routes packets to per-flow destinations; it models the routing
+// step at a gateway fanning out to the receiver (or sender) hosts.
+type Demux struct {
+	dst map[int]Node
+}
+
+var _ Node = (*Demux)(nil)
+
+// NewDemux returns an empty router.
+func NewDemux() *Demux { return &Demux{dst: make(map[int]Node)} }
+
+// Route binds a flow ID to a destination node.
+func (d *Demux) Route(flow int, dst Node) { d.dst[flow] = dst }
+
+// Receive implements Node; packets for unknown flows are dropped.
+func (d *Demux) Receive(p *Packet) {
+	if dst, ok := d.dst[p.Flow]; ok {
+		dst.Receive(p)
+	}
+}
+
+// DumbbellConfig describes the Figure 4 topology: n sender hosts S_i
+// and receiver hosts K_i joined by gateways R1 and R2 over a shared
+// bottleneck.
+type DumbbellConfig struct {
+	// Flows is the number of S_i/K_i pairs.
+	Flows int
+	// BottleneckBps is the R1→R2 (and R2→R1) link rate in bits/s.
+	BottleneckBps float64
+	// BottleneckDelay is the one-way bottleneck propagation delay.
+	BottleneckDelay sim.Time
+	// SideBps and SideDelay configure each S_i→R1 and R2→K_i link.
+	SideBps   float64
+	SideDelay sim.Time
+	// ForwardQueue supplies the discipline for the congested R1→R2
+	// buffer. nil defaults to an 8-packet drop-tail (Table 3).
+	ForwardQueue QueueDiscipline
+	// ReverseQueueLimit bounds the R2→R1 ACK-path drop-tail buffer;
+	// zero means a generous default (ACKs are tiny).
+	ReverseQueueLimit int
+	// ReverseQueue overrides the reverse-path discipline entirely
+	// (e.g. a DRR fair queue for the §2.3 fair-share experiment). When
+	// set, ReverseQueueLimit is ignored.
+	ReverseQueue QueueDiscipline
+	// Loss, when non-nil, is inserted at R1 in front of the forward
+	// bottleneck queue (where the paper injects artificial losses).
+	Loss Node
+}
+
+// PaperDropTailConfig returns the Table 3 configuration for n flows:
+// 8-packet bottleneck buffer, 0.8 Mbps bottleneck, 10 Mbps side links.
+// The bottleneck one-way delay is 50 ms (see DESIGN.md §3 for why).
+func PaperDropTailConfig(flows int) DumbbellConfig {
+	return DumbbellConfig{
+		Flows:           flows,
+		BottleneckBps:   0.8e6,
+		BottleneckDelay: 50 * time.Millisecond,
+		SideBps:         10e6,
+		SideDelay:       1 * time.Millisecond,
+		ForwardQueue:    NewDropTail(8),
+	}
+}
+
+// Dumbbell is the instantiated topology. Senders inject via
+// SenderPort(i); receivers inject ACKs via ReceiverPort(i); final
+// delivery goes to the nodes registered with ConnectSender /
+// ConnectReceiver.
+type Dumbbell struct {
+	cfg DumbbellConfig
+
+	senderLinks   []*Link // S_i -> R1
+	receiverLinks []*Link // R2 -> K_i
+	ackLinks      []*Link // K_i -> R2
+	returnLinks   []*Link // R1 -> S_i
+	forward       *Link   // R1 -> R2 (bottleneck, congested)
+	reverse       *Link   // R2 -> R1 (bottleneck, ACK path)
+	fwdDemux      *Demux  // at R2, to receivers
+	revDemux      *Demux  // at R1, to senders
+}
+
+// NewDumbbell wires up the topology on the given scheduler.
+func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig) (*Dumbbell, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("netem: dumbbell needs at least one flow, got %d", cfg.Flows)
+	}
+	if cfg.BottleneckBps <= 0 || cfg.SideBps <= 0 {
+		return nil, fmt.Errorf("netem: non-positive link bandwidth")
+	}
+	fq := cfg.ForwardQueue
+	if fq == nil {
+		fq = NewDropTail(8)
+	}
+	revLimit := cfg.ReverseQueueLimit
+	if revLimit <= 0 {
+		revLimit = 1000
+	}
+
+	d := &Dumbbell{
+		cfg:      cfg,
+		fwdDemux: NewDemux(),
+		revDemux: NewDemux(),
+	}
+	rq := cfg.ReverseQueue
+	if rq == nil {
+		rq = NewDropTail(revLimit)
+	}
+	d.forward = NewLink(sched, cfg.BottleneckBps, cfg.BottleneckDelay, fq, d.fwdDemux)
+	d.reverse = NewLink(sched, cfg.BottleneckBps, cfg.BottleneckDelay, rq, d.revDemux)
+
+	// Entry into the forward bottleneck, optionally via a loss module.
+	var fwdEntry Node = d.forward
+	if cfg.Loss != nil {
+		if setter, ok := cfg.Loss.(DstSetter); ok {
+			setter.SetDst(d.forward)
+		}
+		fwdEntry = cfg.Loss
+	}
+
+	d.senderLinks = make([]*Link, cfg.Flows)
+	d.receiverLinks = make([]*Link, cfg.Flows)
+	d.ackLinks = make([]*Link, cfg.Flows)
+	d.returnLinks = make([]*Link, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		d.senderLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), fwdEntry)
+		d.receiverLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), nil)
+		d.ackLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), d.reverse)
+		d.returnLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), nil)
+		d.fwdDemux.Route(i, d.receiverLinks[i])
+		d.revDemux.Route(i, d.returnLinks[i])
+	}
+	return d, nil
+}
+
+// SenderPort returns the node into which sender i transmits data.
+func (d *Dumbbell) SenderPort(i int) Node { return d.senderLinks[i] }
+
+// ReceiverPort returns the node into which receiver i transmits ACKs.
+func (d *Dumbbell) ReceiverPort(i int) Node { return d.ackLinks[i] }
+
+// ConnectReceiver registers the endpoint that consumes flow i's data
+// packets at host K_i.
+func (d *Dumbbell) ConnectReceiver(i int, n Node) { d.receiverLinks[i].Dst = n }
+
+// ConnectSender registers the endpoint that consumes flow i's ACKs back
+// at host S_i.
+func (d *Dumbbell) ConnectSender(i int, n Node) { d.returnLinks[i].Dst = n }
+
+// BottleneckQueue exposes the congested R1→R2 queue for tracing.
+func (d *Dumbbell) BottleneckQueue() *Queue { return d.forward.Queue() }
+
+// ForwardLink exposes the bottleneck link for throughput accounting.
+func (d *Dumbbell) ForwardLink() *Link { return d.forward }
+
+// ReverseLink exposes the ACK-path bottleneck link.
+func (d *Dumbbell) ReverseLink() *Link { return d.reverse }
+
+// Config returns the configuration used to build the topology.
+func (d *Dumbbell) Config() DumbbellConfig { return d.cfg }

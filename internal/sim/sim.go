@@ -1,0 +1,229 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue with stable FIFO ordering for
+// simultaneous events, cancellable timers, and a seedable random-number
+// source. It is the substrate on which the network and TCP models run,
+// playing the role ns-2's scheduler plays in the paper's evaluation.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a simulated instant, measured as an offset from the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time = time.Duration
+
+// Event is a unit of scheduled work. Events are ordered by time; events
+// scheduled for the same instant run in scheduling order.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.dead }
+
+// eventHeap orders events by (time, sequence) so that simultaneous
+// events fire in the order they were scheduled.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrScheduleInPast is returned when an event is scheduled before the
+// current simulated time.
+var ErrScheduleInPast = errors.New("sim: event scheduled in the past")
+
+// Scheduler owns the virtual clock and the pending event set. The zero
+// value is not usable; construct one with NewScheduler.
+type Scheduler struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+	rng     *rand.Rand
+
+	// Processed counts events that have fired, for diagnostics.
+	processed uint64
+}
+
+// NewScheduler returns a scheduler whose clock reads zero and whose
+// random source is seeded with the given seed. All randomness used by a
+// simulation must flow through Rand so that runs are reproducible.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand exposes the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Pending reports the number of events waiting to fire.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// Processed reports the number of events that have fired so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Schedule enqueues fn to run after delay and returns a handle that can
+// cancel it. A negative delay returns ErrScheduleInPast.
+func (s *Scheduler) Schedule(delay Time, fn func()) (*Event, error) {
+	return s.At(s.now+delay, fn)
+}
+
+// At enqueues fn to run at the absolute instant t.
+func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
+	if t < s.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrScheduleInPast, t, s.now)
+	}
+	e := &Event{at: t, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e, nil
+}
+
+// Cancel removes an event from the queue. Cancelling a nil, fired, or
+// already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.idx >= 0 && e.idx < s.queue.Len() && s.queue[e.idx] == e {
+		heap.Remove(&s.queue, e.idx)
+	}
+}
+
+// Stop makes the current Run call return after the in-flight event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue empties, Stop is called,
+// or the next event lies strictly beyond until. Unless stopped early,
+// the clock is left at until.
+func (s *Scheduler) Run(until Time) {
+	s.run(until, true)
+}
+
+// RunAll executes events until the queue is empty or Stop is called,
+// leaving the clock at the last fired event.
+func (s *Scheduler) RunAll() {
+	s.run(1<<63-1, false)
+}
+
+func (s *Scheduler) run(until Time, advanceClock bool) {
+	s.stopped = false
+	for s.queue.Len() > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.at > until {
+			s.now = until
+			return
+		}
+		popped, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			continue
+		}
+		if popped.dead {
+			continue
+		}
+		s.now = popped.at
+		popped.dead = true
+		s.processed++
+		popped.fn()
+	}
+	if !s.stopped && advanceClock && s.now < until {
+		s.now = until
+	}
+}
+
+// Timer is a restartable one-shot timer bound to a scheduler, the
+// building block for TCP retransmission timers.
+type Timer struct {
+	sched *Scheduler
+	ev    *Event
+	fn    func()
+}
+
+// NewTimer returns a stopped timer that runs fn when it expires.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	return &Timer{sched: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after d, replacing any pending
+// expiry. A negative d is clamped to zero.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	if d < 0 {
+		d = 0
+	}
+	ev, err := t.sched.Schedule(d, t.expire)
+	if err != nil {
+		return
+	}
+	t.ev = ev
+}
+
+func (t *Timer) expire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Stop disarms the timer if it is pending.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sched.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer is pending.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// ExpiresAt reports when the timer will fire; valid only when Armed.
+func (t *Timer) ExpiresAt() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.At()
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev")
+	}
+	// Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.1380899352993) > 1e-9 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Fatalf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{1, 2}, 50); !almost(got, 1.5) {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !almost(Median([]float64{9, 1, 5}), 5) {
+		t.Fatal("median wrong")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95HalfWidth([]float64{1}) != 0 {
+		t.Fatal("single-sample CI")
+	}
+	xs := []float64{10, 12, 14, 16}
+	want := 1.96 * StdDev(xs) / 2
+	if !almost(CI95HalfWidth(xs), want) {
+		t.Fatal("CI half-width wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !almost(s.Mean, 2.5) || !almost(s.Median, 2.5) ||
+		s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=4") {
+		t.Fatalf("summary string: %s", s)
+	}
+}
+
+// Property: min ≤ every percentile ≤ max, and mean within [min, max].
+func TestBoundsProperty(t *testing.T) {
+	f := func(raw []int16, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		pct := Percentile(xs, float64(p%101))
+		return Min(xs) <= pct && pct <= Max(xs) &&
+			Min(xs) <= Mean(xs) && Mean(xs) <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stddev is translation-invariant and scales with |k|.
+func TestStdDevInvarianceProperty(t *testing.T) {
+	f := func(raw []int8, shift int8, scale int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		shifted := make([]float64, len(raw))
+		scaled := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			shifted[i] = float64(v) + float64(shift)
+			scaled[i] = float64(v) * float64(scale)
+		}
+		base := StdDev(xs)
+		if math.Abs(StdDev(shifted)-base) > 1e-6 {
+			return false
+		}
+		return math.Abs(StdDev(scaled)-math.Abs(float64(scale))*base) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+)
+
+func TestSenderAccessors(t *testing.T) {
+	n := newTestNet(t, NewTahoe(), testNetConfig{totalBytes: 10 * 1000, window: 7})
+	s := n.sender
+	if s.Flow() != 0 {
+		t.Fatalf("Flow = %d", s.Flow())
+	}
+	if s.VariantName() != "tahoe" {
+		t.Fatalf("VariantName = %q", s.VariantName())
+	}
+	if s.Window() != 7 {
+		t.Fatalf("Window = %d", s.Window())
+	}
+	if s.TotalBytes() != 10*1000 {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes())
+	}
+	if s.MSS() != DefaultMSS {
+		t.Fatalf("MSS = %d", s.MSS())
+	}
+	if !s.HasNewData() {
+		t.Fatal("HasNewData false before transfer")
+	}
+	if s.Trace() != n.tr {
+		t.Fatal("Trace accessor")
+	}
+	n.start(t)
+	n.run(10 * time.Second)
+	if s.HasNewData() {
+		t.Fatal("HasNewData true after transfer")
+	}
+}
+
+func TestRetransmitClampsToTransferEnd(t *testing.T) {
+	// A retransmission at the last (short) segment must not exceed the
+	// transfer length, and one past the end must be a no-op.
+	n := newTestNet(t, NewTahoe(), testNetConfig{totalBytes: 2500})
+	n.start(t)
+	n.run(5 * time.Second)
+	if !n.sender.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	before := n.tr.Retransmits
+	n.sender.Retransmit(2000) // 500-byte tail, but transfer is done
+	n.sender.Retransmit(9000) // beyond the end entirely
+	if n.tr.Retransmits != before {
+		t.Fatal("retransmit after completion emitted segments")
+	}
+}
+
+func TestRetransmitShortTail(t *testing.T) {
+	// Lose the final, sub-MSS segment: its retransmission must carry
+	// only the remaining bytes.
+	n := newTestNet(t, NewTahoe(), testNetConfig{totalBytes: 5500, window: 4})
+	n.loss.Drop(0, 5000)
+	n.start(t)
+	n.run(30 * time.Second)
+	if !n.sender.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	if n.recv.Delivered != 5500 {
+		t.Fatalf("delivered %d, want 5500", n.recv.Delivered)
+	}
+}
+
+func TestStrategyIntrospectionAccessors(t *testing.T) {
+	reno := NewReno4BSD()
+	if reno.InRecovery() {
+		t.Fatal("fresh Reno in recovery")
+	}
+	nr := NewNewReno()
+	if nr.InRecovery() || nr.Recover() != 0 {
+		t.Fatal("fresh New-Reno state")
+	}
+	sack := NewSACK()
+	if sack.InRecovery() || len(sack.Scoreboard()) != 0 {
+		t.Fatal("fresh SACK state")
+	}
+	fack := NewFACK()
+	if fack.InRecovery() || fack.Fack() != 0 {
+		t.Fatal("fresh FACK state")
+	}
+	re := NewRightEdge()
+	if re.InRecovery() {
+		t.Fatal("fresh right-edge state")
+	}
+	lk := NewLinKung()
+	if lk.InRecovery() {
+		t.Fatal("fresh Lin-Kung state")
+	}
+}
+
+func TestSACKPipeAccessorDuringRecovery(t *testing.T) {
+	n := newTestNet(t, NewSACK(), testNetConfig{
+		totalBytes: 0, window: 24, ssthresh: 12, sack: true,
+	})
+	strat, ok := n.sender.strat.(*SACKStrategy)
+	if !ok {
+		t.Fatal("strategy type")
+	}
+	dropBurst(n, 40, 2)
+	n.start(t)
+	// Run until recovery is active.
+	for i := 0; i < 500 && !strat.InRecovery(); i++ {
+		n.sched.Run(n.sched.Now() + 10*time.Millisecond)
+	}
+	if !strat.InRecovery() {
+		t.Fatal("recovery never entered")
+	}
+	if strat.Pipe(n.sender) < 0 {
+		t.Fatal("negative pipe")
+	}
+	if len(strat.Scoreboard()) == 0 {
+		t.Fatal("empty scoreboard during recovery")
+	}
+}
+
+func TestReceiverSetOutputRedirects(t *testing.T) {
+	sink := &ackSink{}
+	r, orig := newRecv(false)
+	r.SetOutput(sink)
+	r.Receive(data(0))
+	if len(sink.acks) != 1 {
+		t.Fatal("redirected output missed the ACK")
+	}
+	if len(orig.acks) != 0 {
+		t.Fatal("original output still receiving")
+	}
+}
+
+func TestTimerExpiresAtUnarmed(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	timer := sim.NewTimer(sched, func() {})
+	if timer.ExpiresAt() != 0 {
+		t.Fatal("unarmed timer has an expiry")
+	}
+}
+
+func TestSenderWindowAccessorsViaTopology(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(1))
+	if err != nil {
+		t.Fatalf("dumbbell: %v", err)
+	}
+	if d.ForwardLink() == nil || d.ReverseLink() == nil {
+		t.Fatal("link accessors nil")
+	}
+	if d.Config().Flows != 1 {
+		t.Fatalf("config flows = %d", d.Config().Flows)
+	}
+	q := d.BottleneckQueue()
+	if q.Len() != 0 {
+		t.Fatalf("fresh queue len %d", q.Len())
+	}
+	if q.Discipline() == nil {
+		t.Fatal("discipline accessor nil")
+	}
+}

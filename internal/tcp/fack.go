@@ -1,0 +1,234 @@
+package tcp
+
+import "rrtcp/internal/trace"
+
+// FACKStrategy implements FACK TCP (Mathis & Mahdavi, SIGCOMM'96 — the
+// paper's [13]): forward acknowledgment refines SACK recovery by
+// tracking `fack`, the forward-most SACKed byte. Outstanding data is
+// estimated as (snd.nxt − fack) plus retransmitted-but-unacknowledged
+// data, which is more accurate than Reno's cumulative-ACK view, and
+// recovery triggers as soon as more than DupThresh segments' worth of
+// data lies between snd.una and fack — no need to count three separate
+// duplicate ACKs when one SACK block already proves the gap. The paper
+// groups FACK with SACK: efficient multi-loss recovery, but requiring
+// cooperative (SACK-capable) receivers.
+type FACKStrategy struct {
+	inRecovery bool
+	recover    int64
+	fack       int64
+
+	scoreboard []seqRange
+	rtxOut     map[int64]bool // retransmitted holes not yet acked/SACKed
+}
+
+var _ Strategy = (*FACKStrategy)(nil)
+
+// NewFACK returns the FACK strategy. The flow's Receiver must have
+// SACKEnabled set.
+func NewFACK() *FACKStrategy {
+	return &FACKStrategy{rtxOut: make(map[int64]bool)}
+}
+
+// Name implements Strategy.
+func (f *FACKStrategy) Name() string { return "fack" }
+
+// InRecovery reports whether recovery is active (for tests).
+func (f *FACKStrategy) InRecovery() bool { return f.inRecovery }
+
+// Fack exposes the forward-most acknowledged byte (for tests).
+func (f *FACKStrategy) Fack() int64 { return f.fack }
+
+// OnAck implements Strategy.
+func (f *FACKStrategy) OnAck(s *Sender, ev AckEvent) {
+	f.update(s, ev)
+	switch {
+	case !ev.IsDup && f.inRecovery:
+		f.onNewAckInRecovery(s, ev)
+	case !ev.IsDup:
+		s.SetDupAcks(0)
+		s.GrowWindow()
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.PumpWindow()
+	case f.inRecovery:
+		f.fill(s)
+	default:
+		s.SetDupAcks(s.DupAcks() + 1)
+		// FACK trigger: the hole between una and fack already spans
+		// more than DupThresh segments, or the classic dup count.
+		if f.fack-s.SndUna() > int64(DupThresh*s.MSS()) || s.DupAcks() == DupThresh {
+			f.enter(s)
+		}
+	}
+}
+
+func (f *FACKStrategy) enter(s *Sender) {
+	f.inRecovery = true
+	f.recover = s.MaxSeq()
+	f.rtxOut = make(map[int64]bool)
+	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	flight := s.FlightPackets()
+	if flight < 2 {
+		flight = 2
+	}
+	s.SetSsthresh(float64(flight) / 2)
+	s.SetCwnd(s.Ssthresh())
+	f.retransmitHole(s, s.SndUna())
+	s.RestartTimer()
+	f.fill(s)
+}
+
+func (f *FACKStrategy) onNewAckInRecovery(s *Sender, ev AckEvent) {
+	for seq := range f.rtxOut {
+		if seq < ev.AckNo {
+			delete(f.rtxOut, seq)
+		}
+	}
+	if ev.AckNo >= f.recover {
+		f.inRecovery = false
+		s.SetDupAcks(0)
+		s.SetCwnd(s.Ssthresh())
+		s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.PumpWindow()
+		return
+	}
+	s.AdvanceUna(ev.AckNo)
+	if s.Done() {
+		return
+	}
+	s.RestartTimer()
+	f.fill(s)
+}
+
+// pipe is FACK's in-flight estimate: (snd.nxt − fack) plus outstanding
+// retransmissions, in packets.
+func (f *FACKStrategy) pipe(s *Sender) int {
+	awnd := s.SndNxt() - f.fack
+	if awnd < 0 {
+		awnd = 0
+	}
+	return int(awnd/int64(s.MSS())) + len(f.rtxOut)
+}
+
+func (f *FACKStrategy) fill(s *Sender) {
+	for f.pipe(s) < int(s.Cwnd()) {
+		if hole, ok := f.nextHole(s); ok {
+			f.retransmitHole(s, hole)
+			continue
+		}
+		if !s.SendNewSegment() {
+			return
+		}
+	}
+}
+
+func (f *FACKStrategy) retransmitHole(s *Sender, seq int64) {
+	f.rtxOut[seq] = true
+	s.Retransmit(seq)
+}
+
+// nextHole returns the lowest un-SACKed, un-retransmitted sequence
+// below fack.
+func (f *FACKStrategy) nextHole(s *Sender) (int64, bool) {
+	mss := int64(s.MSS())
+	for seq := s.SndUna(); seq < f.fack; seq += mss {
+		if f.rtxOut[seq] || f.isSacked(seq) {
+			continue
+		}
+		return seq, true
+	}
+	return 0, false
+}
+
+func (f *FACKStrategy) isSacked(seq int64) bool {
+	for _, b := range f.scoreboard {
+		if seq >= b.Start && seq < b.End {
+			return true
+		}
+		if b.Start > seq {
+			return false
+		}
+	}
+	return false
+}
+
+// update merges SACK blocks, advances fack, and trims state below the
+// cumulative ACK.
+func (f *FACKStrategy) update(s *Sender, ev AckEvent) {
+	for _, b := range ev.SACK {
+		f.mergeBlock(seqRange{Start: b.Start, End: b.End})
+		if b.End > f.fack {
+			f.fack = b.End
+		}
+		if f.rtxOut != nil {
+			for seq := range f.rtxOut {
+				if seq >= b.Start && seq < b.End {
+					delete(f.rtxOut, seq)
+				}
+			}
+		}
+	}
+	if ev.AckNo > f.fack {
+		f.fack = ev.AckNo
+	}
+	cut := ev.AckNo
+	if cut < s.SndUna() {
+		cut = s.SndUna()
+	}
+	out := f.scoreboard[:0]
+	for _, b := range f.scoreboard {
+		if b.End <= cut {
+			continue
+		}
+		if b.Start < cut {
+			b.Start = cut
+		}
+		out = append(out, b)
+	}
+	f.scoreboard = out
+}
+
+func (f *FACKStrategy) mergeBlock(nb seqRange) {
+	if nb.End <= nb.Start {
+		return
+	}
+	merged := make([]seqRange, 0, len(f.scoreboard)+1)
+	inserted := false
+	for _, b := range f.scoreboard {
+		switch {
+		case b.End < nb.Start:
+			merged = append(merged, b)
+		case nb.End < b.Start:
+			if !inserted {
+				merged = append(merged, nb)
+				inserted = true
+			}
+			merged = append(merged, b)
+		default:
+			if b.Start < nb.Start {
+				nb.Start = b.Start
+			}
+			if b.End > nb.End {
+				nb.End = b.End
+			}
+		}
+	}
+	if !inserted {
+		merged = append(merged, nb)
+	}
+	f.scoreboard = merged
+}
+
+// OnTimeout implements Strategy.
+func (f *FACKStrategy) OnTimeout(s *Sender) {
+	f.inRecovery = false
+	f.scoreboard = nil
+	f.fack = s.SndUna()
+	f.rtxOut = make(map[int64]bool)
+}

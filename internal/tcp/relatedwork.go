@@ -1,0 +1,129 @@
+package tcp
+
+import "rrtcp/internal/trace"
+
+// The two related-work enhancements the paper's introduction analyzes
+// and argues against. Both keep TCP aggressive around loss detection;
+// the paper's criticism is that packets transmitted on the verge of a
+// congestion signal "add more fuel to the fire" at the bottleneck, and
+// that neither can detect further losses during recovery.
+
+// RightEdge implements right-edge recovery (Balakrishnan et al.,
+// INFOCOM'98, the paper's [1]): New-Reno fast recovery, except that one
+// new data packet is clocked out for EACH duplicate ACK instead of each
+// second one, keeping the right edge of the window moving to avoid
+// coarse timeouts under tiny windows.
+type RightEdge struct {
+	inRecovery        bool
+	recover           int64
+	noRetransmitBelow int64
+}
+
+var _ Strategy = (*RightEdge)(nil)
+
+// NewRightEdge returns the right-edge recovery strategy.
+func NewRightEdge() *RightEdge { return &RightEdge{} }
+
+// Name implements Strategy.
+func (*RightEdge) Name() string { return "rightedge" }
+
+// OnAck implements Strategy.
+func (e *RightEdge) OnAck(s *Sender, ev AckEvent) {
+	switch {
+	case !ev.IsDup && e.inRecovery:
+		e.onNewAckInRecovery(s, ev)
+	case !ev.IsDup:
+		s.SetDupAcks(0)
+		s.GrowWindow()
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.PumpWindow()
+	case e.inRecovery:
+		// One new packet per duplicate ACK: the defining rule.
+		s.SendNewSegment()
+	default:
+		s.SetDupAcks(s.DupAcks() + 1)
+		if s.DupAcks() == DupThresh && s.SndUna() >= e.noRetransmitBelow {
+			e.enter(s)
+		}
+	}
+}
+
+func (e *RightEdge) enter(s *Sender) {
+	e.inRecovery = true
+	e.recover = s.MaxSeq()
+	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	flight := s.FlightPackets()
+	if flight < 2 {
+		flight = 2
+	}
+	s.SetSsthresh(float64(flight) / 2)
+	s.SetCwnd(s.Ssthresh())
+	s.Retransmit(s.SndUna())
+	s.RestartTimer()
+}
+
+func (e *RightEdge) onNewAckInRecovery(s *Sender, ev AckEvent) {
+	if ev.AckNo >= e.recover {
+		e.inRecovery = false
+		s.SetDupAcks(0)
+		s.SetCwnd(s.Ssthresh())
+		s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.PumpWindow()
+		return
+	}
+	// Partial ACK: New-Reno-style hole retransmission.
+	s.AdvanceUna(ev.AckNo)
+	if s.Done() {
+		return
+	}
+	s.Retransmit(s.SndUna())
+	s.RestartTimer()
+}
+
+// OnTimeout implements Strategy.
+func (e *RightEdge) OnTimeout(s *Sender) {
+	e.inRecovery = false
+	e.noRetransmitBelow = s.MaxSeq()
+}
+
+// InRecovery reports whether fast recovery is active (for tests).
+func (e *RightEdge) InRecovery() bool { return e.inRecovery }
+
+// LinKung implements the Lin & Kung (INFOCOM'98, the paper's [12])
+// refinement: a new data packet is generated upon each arrival of the
+// FIRST TWO duplicate ACKs — before fast retransmit even fires — so
+// TCP stays aggressive while a loss is still only suspected. Recovery
+// itself proceeds as in New-Reno.
+type LinKung struct {
+	newreno NewRenoStrategy
+}
+
+var _ Strategy = (*LinKung)(nil)
+
+// NewLinKung returns the Lin-Kung strategy.
+func NewLinKung() *LinKung { return &LinKung{} }
+
+// Name implements Strategy.
+func (*LinKung) Name() string { return "linkung" }
+
+// OnAck implements Strategy.
+func (l *LinKung) OnAck(s *Sender, ev AckEvent) {
+	if ev.IsDup && !l.newreno.InRecovery() && s.DupAcks() < DupThresh-1 {
+		// First two duplicate ACKs each clock out one new packet.
+		s.SendNewSegment()
+	}
+	l.newreno.OnAck(s, ev)
+}
+
+// OnTimeout implements Strategy.
+func (l *LinKung) OnTimeout(s *Sender) { l.newreno.OnTimeout(s) }
+
+// InRecovery reports whether fast recovery is active (for tests).
+func (l *LinKung) InRecovery() bool { return l.newreno.InRecovery() }

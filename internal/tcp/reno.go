@@ -1,0 +1,85 @@
+package tcp
+
+import "rrtcp/internal/trace"
+
+// Reno implements 4.3BSD-Reno fast recovery: on the third duplicate
+// ACK the sender retransmits the hole, halves the window, and inflates
+// cwnd by one segment per additional duplicate ACK so new data keeps
+// flowing; ANY new ACK — even a partial one — deflates the window and
+// exits recovery. With multiple losses in one window this halves cwnd
+// once per loss and usually ends in a coarse timeout, the weakness the
+// paper's Section 1 describes.
+type Reno struct {
+	inRecovery bool
+	recover    int64
+}
+
+// As in ns-2's default "bugfix" behavior, Reno suppresses a second fast
+// retransmit until the cumulative ACK passes `recover`, so a burst of
+// losses in one window usually costs it a coarse timeout — the weakness
+// the paper's Section 1 describes.
+
+var _ Strategy = (*Reno)(nil)
+
+// NewReno4BSD returns the Reno strategy. (The name avoids a clash with
+// the New-Reno constructor.)
+func NewReno4BSD() *Reno { return &Reno{} }
+
+// Name implements Strategy.
+func (*Reno) Name() string { return "reno" }
+
+// OnAck implements Strategy.
+func (r *Reno) OnAck(s *Sender, ev AckEvent) {
+	if !ev.IsDup {
+		if r.inRecovery {
+			// Reno deflates and leaves recovery on the first new ACK,
+			// partial or not.
+			r.inRecovery = false
+			s.SetCwnd(s.Ssthresh())
+			s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		} else {
+			s.GrowWindow()
+		}
+		s.SetDupAcks(0)
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.PumpWindow()
+		return
+	}
+	if r.inRecovery {
+		// Window inflation: each duplicate ACK signals a departure.
+		s.SetCwnd(s.Cwnd() + 1)
+		s.PumpWindow()
+		return
+	}
+	s.SetDupAcks(s.DupAcks() + 1)
+	if s.DupAcks() != DupThresh || s.SndUna() <= r.recover {
+		return
+	}
+	r.enter(s)
+}
+
+func (r *Reno) enter(s *Sender) {
+	r.inRecovery = true
+	r.recover = s.MaxSeq()
+	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	flight := s.FlightPackets()
+	if flight < 2 {
+		flight = 2
+	}
+	s.SetSsthresh(float64(flight) / 2)
+	s.SetCwnd(s.Ssthresh() + DupThresh)
+	s.Retransmit(s.SndUna())
+	s.RestartTimer()
+}
+
+// OnTimeout implements Strategy.
+func (r *Reno) OnTimeout(s *Sender) {
+	r.inRecovery = false
+	r.recover = s.MaxSeq()
+}
+
+// InRecovery reports whether fast recovery is active (for tests).
+func (r *Reno) InRecovery() bool { return r.inRecovery }

@@ -1,0 +1,119 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRTTFirstSample(t *testing.T) {
+	var e rttEstimator
+	e.sample(100 * time.Millisecond)
+	if e.SRTT() != 0.1 {
+		t.Fatalf("srtt = %v, want 0.1", e.SRTT())
+	}
+	if e.rttvar != 0.05 {
+		t.Fatalf("rttvar = %v, want 0.05", e.rttvar)
+	}
+}
+
+func TestRTTConvergesToSteadyValue(t *testing.T) {
+	var e rttEstimator
+	for i := 0; i < 100; i++ {
+		e.sample(200 * time.Millisecond)
+	}
+	if diff := e.SRTT() - 0.2; diff > 0.001 || diff < -0.001 {
+		t.Fatalf("srtt = %v, want ~0.2", e.SRTT())
+	}
+	if e.rttvar > 0.01 {
+		t.Fatalf("rttvar = %v, want ~0 for constant samples", e.rttvar)
+	}
+}
+
+func TestRTOBeforeAnySample(t *testing.T) {
+	var e rttEstimator
+	if got := e.rto(); got != 3*time.Second {
+		t.Fatalf("initial rto = %v, want 3s", got)
+	}
+}
+
+func TestRTOCoarseGranularity(t *testing.T) {
+	var e rttEstimator
+	for i := 0; i < 50; i++ {
+		e.sample(100 * time.Millisecond)
+	}
+	rto := e.rto()
+	if rto%TimerGranularity != 0 {
+		t.Fatalf("rto %v not a multiple of the 500ms tick", rto)
+	}
+	if rto < MinRTO {
+		t.Fatalf("rto %v below minimum %v", rto, MinRTO)
+	}
+}
+
+func TestRTOMinimumOneSecond(t *testing.T) {
+	var e rttEstimator
+	for i := 0; i < 50; i++ {
+		e.sample(time.Millisecond)
+	}
+	if got := e.rto(); got != MinRTO {
+		t.Fatalf("rto = %v for tiny RTTs, want the %v floor", got, MinRTO)
+	}
+}
+
+func TestRTOMaxClamp(t *testing.T) {
+	var e rttEstimator
+	e.sample(10 * time.Minute)
+	if got := e.rto(); got != MaxRTO {
+		t.Fatalf("rto = %v, want clamp to %v", got, MaxRTO)
+	}
+}
+
+func TestRTTNegativeSampleIgnored(t *testing.T) {
+	var e rttEstimator
+	e.sample(-time.Second)
+	if e.sampled {
+		t.Fatal("negative sample accepted")
+	}
+}
+
+// Property: the RTO always lies within [MinRTO, MaxRTO] and is tick-
+// aligned, for any sample sequence.
+func TestRTOBoundsProperty(t *testing.T) {
+	f := func(samplesMs []uint32) bool {
+		var e rttEstimator
+		for _, ms := range samplesMs {
+			e.sample(time.Duration(ms%100000) * time.Millisecond)
+		}
+		rto := e.rto()
+		return rto >= MinRTO && rto <= MaxRTO && rto%TimerGranularity == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: srtt stays within the min/max of the samples fed in.
+func TestSRTTWithinSampleRangeProperty(t *testing.T) {
+	f := func(samplesMs []uint16) bool {
+		if len(samplesMs) == 0 {
+			return true
+		}
+		var e rttEstimator
+		lo, hi := time.Duration(samplesMs[0])*time.Millisecond, time.Duration(samplesMs[0])*time.Millisecond
+		for _, ms := range samplesMs {
+			d := time.Duration(ms) * time.Millisecond
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+			e.sample(d)
+		}
+		return e.SRTT() >= lo.Seconds()-1e-9 && e.SRTT() <= hi.Seconds()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+package tcp
+
+import (
+	"rrtcp/internal/netem"
+	"rrtcp/internal/trace"
+)
+
+// SACKStrategy implements SACK TCP. Two modes are provided:
+//
+//   - The default reproduces the 1996 Fall & Floyd `sack1` sender the
+//     paper compares against: a scoreboard of SACKed blocks plus an
+//     incrementally maintained `pipe` estimate of packets in the path
+//     (decremented by one per duplicate ACK, by two per partial ACK,
+//     incremented per transmission). The sender may transmit whenever
+//     pipe < cwnd, preferring the oldest un-SACKed hole. Because the
+//     packets lost in the current window stay counted in pipe for the
+//     first recovery RTT, this sender is throttled early in recovery
+//     and — as the paper and Bruyeron et al. note — can be forced into
+//     a timeout when too little of the window survives.
+//
+//   - Modern mode (NewSACKModern) derives pipe from the scoreboard as
+//     RFC 6675 does, excluding segments deemed lost (DupThresh SACKed
+//     segments above them), which removes the first-RTT throttling.
+//
+// The paper contrasts SACK's passive pipe with RR's `actnum`, which
+// both measures and *controls* the in-flight data.
+type SACKStrategy struct {
+	modern bool
+
+	inRecovery bool
+	recover    int64
+	pipe       int // incremental estimate (classic mode only)
+
+	scoreboard []seqRange     // SACKed ranges above SndUna, sorted, disjoint
+	rtxDone    map[int64]bool // holes already retransmitted this recovery
+}
+
+var _ Strategy = (*SACKStrategy)(nil)
+
+// NewSACK returns the classic Fall & Floyd sack1 sender — the SACK
+// baseline of the paper's evaluation. The flow's Receiver must have
+// SACKEnabled set.
+func NewSACK() *SACKStrategy {
+	return &SACKStrategy{rtxDone: make(map[int64]bool)}
+}
+
+// NewSACKModern returns the RFC 6675-style sender with the
+// scoreboard-derived pipe.
+func NewSACKModern() *SACKStrategy {
+	return &SACKStrategy{modern: true, rtxDone: make(map[int64]bool)}
+}
+
+// Name implements Strategy.
+func (k *SACKStrategy) Name() string {
+	if k.modern {
+		return "sack6675"
+	}
+	return "sack"
+}
+
+// Pipe exposes the in-flight estimate (for tests).
+func (k *SACKStrategy) Pipe(s *Sender) int { return k.pipeFor(s) }
+
+// InRecovery reports whether fast recovery is active (for tests).
+func (k *SACKStrategy) InRecovery() bool { return k.inRecovery }
+
+// pipeFor returns the current in-flight estimate for the active mode.
+func (k *SACKStrategy) pipeFor(s *Sender) int {
+	if !k.modern {
+		return k.pipe
+	}
+	// RFC 6675: segments sent but not cumulatively acked, excluding
+	// SACKed segments and lost-but-not-retransmitted segments.
+	mss := int64(s.MSS())
+	pipe := 0
+	for seq := s.SndUna(); seq < s.SndNxt(); seq += mss {
+		if k.isSacked(seq) {
+			continue
+		}
+		if k.isLost(s, seq) && !k.rtxDone[seq] {
+			continue
+		}
+		pipe++
+	}
+	return pipe
+}
+
+// isLost deems a segment lost once DupThresh segments above it have
+// been SACKed (RFC 6675 IsLost).
+func (k *SACKStrategy) isLost(s *Sender, seq int64) bool {
+	mss := int64(s.MSS())
+	var sackedAbove int64
+	for _, b := range k.scoreboard {
+		if b.End <= seq {
+			continue
+		}
+		lo := b.Start
+		if lo < seq {
+			lo = seq
+		}
+		sackedAbove += b.End - lo
+	}
+	return sackedAbove >= DupThresh*mss
+}
+
+// OnAck implements Strategy.
+func (k *SACKStrategy) OnAck(s *Sender, ev AckEvent) {
+	k.updateScoreboard(s, ev)
+	switch {
+	case !ev.IsDup && k.inRecovery:
+		k.onNewAckInRecovery(s, ev)
+	case !ev.IsDup:
+		s.SetDupAcks(0)
+		s.GrowWindow()
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.PumpWindow()
+	case k.inRecovery:
+		// Each duplicate ACK signals one departure from the path.
+		if k.pipe > 0 {
+			k.pipe--
+		}
+		k.fill(s)
+	default:
+		s.SetDupAcks(s.DupAcks() + 1)
+		if s.DupAcks() == DupThresh {
+			k.enter(s)
+		}
+	}
+}
+
+func (k *SACKStrategy) enter(s *Sender) {
+	k.inRecovery = true
+	k.recover = s.MaxSeq()
+	k.rtxDone = make(map[int64]bool)
+	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	flight := s.FlightPackets()
+	if flight < 2 {
+		flight = 2
+	}
+	s.SetSsthresh(float64(flight) / 2)
+	s.SetCwnd(s.Ssthresh())
+	// Three duplicate ACKs mean three packets have left the path.
+	k.pipe = flight - DupThresh
+	if k.pipe < 0 {
+		k.pipe = 0
+	}
+	k.retransmitHole(s, s.SndUna())
+	s.RestartTimer()
+	k.fill(s)
+}
+
+func (k *SACKStrategy) onNewAckInRecovery(s *Sender, ev AckEvent) {
+	if ev.AckNo >= k.recover {
+		k.inRecovery = false
+		s.SetDupAcks(0)
+		s.SetCwnd(s.Ssthresh())
+		s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.PumpWindow()
+		return
+	}
+	// Partial ACK: both the original transmission and its
+	// retransmission have left the path.
+	k.pipe -= 2
+	if k.pipe < 0 {
+		k.pipe = 0
+	}
+	s.AdvanceUna(ev.AckNo)
+	if s.Done() {
+		return
+	}
+	s.RestartTimer()
+	k.fill(s)
+}
+
+// fill transmits while pipe < cwnd: holes first, then new data.
+func (k *SACKStrategy) fill(s *Sender) {
+	for k.pipeFor(s) < int(s.Cwnd()) {
+		if hole, ok := k.nextHole(s); ok {
+			k.retransmitHole(s, hole)
+			continue
+		}
+		if !s.SendNewSegment() {
+			return
+		}
+		k.pipe++
+	}
+}
+
+func (k *SACKStrategy) retransmitHole(s *Sender, seq int64) {
+	k.rtxDone[seq] = true
+	s.Retransmit(seq)
+	k.pipe++
+}
+
+// nextHole returns the lowest sequence at or above SndUna, below the
+// highest SACKed byte, that has been neither SACKed nor retransmitted
+// this recovery. In modern mode a hole must also be deemed lost.
+func (k *SACKStrategy) nextHole(s *Sender) (int64, bool) {
+	if len(k.scoreboard) == 0 {
+		return 0, false
+	}
+	highest := k.scoreboard[len(k.scoreboard)-1].End
+	mss := int64(s.MSS())
+	for seq := s.SndUna(); seq < highest; seq += mss {
+		if k.rtxDone[seq] || k.isSacked(seq) {
+			continue
+		}
+		if k.modern && !k.isLost(s, seq) {
+			return 0, false
+		}
+		return seq, true
+	}
+	return 0, false
+}
+
+func (k *SACKStrategy) isSacked(seq int64) bool {
+	for _, b := range k.scoreboard {
+		if seq >= b.Start && seq < b.End {
+			return true
+		}
+		if b.Start > seq {
+			return false
+		}
+	}
+	return false
+}
+
+// updateScoreboard merges the ACK's SACK blocks and discards ranges at
+// or below the cumulative ACK.
+func (k *SACKStrategy) updateScoreboard(s *Sender, ev AckEvent) {
+	for _, b := range ev.SACK {
+		k.merge(seqRange{Start: b.Start, End: b.End})
+	}
+	cut := ev.AckNo
+	if cut < s.SndUna() {
+		cut = s.SndUna()
+	}
+	out := k.scoreboard[:0]
+	for _, b := range k.scoreboard {
+		if b.End <= cut {
+			continue
+		}
+		if b.Start < cut {
+			b.Start = cut
+		}
+		out = append(out, b)
+	}
+	k.scoreboard = out
+}
+
+func (k *SACKStrategy) merge(nb seqRange) {
+	if nb.End <= nb.Start {
+		return
+	}
+	merged := make([]seqRange, 0, len(k.scoreboard)+1)
+	inserted := false
+	for _, b := range k.scoreboard {
+		switch {
+		case b.End < nb.Start:
+			merged = append(merged, b)
+		case nb.End < b.Start:
+			if !inserted {
+				merged = append(merged, nb)
+				inserted = true
+			}
+			merged = append(merged, b)
+		default:
+			if b.Start < nb.Start {
+				nb.Start = b.Start
+			}
+			if b.End > nb.End {
+				nb.End = b.End
+			}
+		}
+	}
+	if !inserted {
+		merged = append(merged, nb)
+	}
+	k.scoreboard = merged
+}
+
+// Scoreboard exposes a copy of the SACKed ranges (for tests).
+func (k *SACKStrategy) Scoreboard() []netem.SACKBlock {
+	out := make([]netem.SACKBlock, 0, len(k.scoreboard))
+	for _, b := range k.scoreboard {
+		out = append(out, netem.SACKBlock{Start: b.Start, End: b.End})
+	}
+	return out
+}
+
+// OnTimeout implements Strategy.
+func (k *SACKStrategy) OnTimeout(*Sender) {
+	k.inRecovery = false
+	k.scoreboard = nil
+	k.pipe = 0
+	k.rtxDone = make(map[int64]bool)
+}

@@ -1,0 +1,462 @@
+// Package tcp implements the sender- and receiver-side TCP machinery
+// the paper's evaluation depends on: segment/ACK generation, RTT
+// estimation with a coarse-grained retransmission timer, slow start and
+// congestion avoidance, and the four loss-recovery baselines — Tahoe,
+// Reno, New-Reno, and SACK TCP. The paper's own contribution, Robust
+// Recovery, plugs into the same Sender through the Strategy interface
+// and lives in internal/core.
+package tcp
+
+import (
+	"fmt"
+
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/trace"
+)
+
+// DupThresh is the classic three-duplicate-ACK fast-retransmit trigger.
+const DupThresh = 3
+
+// DefaultMSS matches the paper's 1000-byte data packets.
+const DefaultMSS = 1000
+
+// Infinite marks a flow with unbounded data to send.
+const Infinite int64 = -1
+
+// AckEvent summarizes an incoming acknowledgment for a Strategy.
+type AckEvent struct {
+	// AckNo is the cumulative acknowledgment.
+	AckNo int64
+	// SACK carries the selective-acknowledgment blocks, if any.
+	SACK []netem.SACKBlock
+	// IsDup reports a pure duplicate: AckNo equals SndUna while data is
+	// outstanding.
+	IsDup bool
+}
+
+// Strategy is the pluggable congestion-control / loss-recovery state
+// machine of a Sender. The Sender handles segment bookkeeping, RTT
+// estimation, the retransmission timer, and application completion;
+// the Strategy decides how the window evolves and what gets
+// (re)transmitted in response to ACKs and timeouts.
+type Strategy interface {
+	// Name identifies the variant ("tahoe", "newreno", "rr", ...).
+	Name() string
+	// OnAck handles one acknowledgment. It runs after the Sender has
+	// taken its RTT sample but before any state is advanced: the
+	// strategy itself calls Sender methods (AdvanceUna, GrowWindow,
+	// PumpWindow, Retransmit, ...) to effect the response.
+	OnAck(s *Sender, ev AckEvent)
+	// OnTimeout lets the strategy reset recovery state after the Sender
+	// has performed the standard timeout actions (collapse to slow
+	// start and go-back-N).
+	OnTimeout(s *Sender)
+}
+
+// Config parameterizes a Sender.
+type Config struct {
+	// Flow is the connection identifier used in packet headers.
+	Flow int
+	// MSS is the segment payload size; the wire size of a data packet
+	// equals MSS here, matching the paper's "each data packet is 1000
+	// bytes long".
+	MSS int
+	// Window is the receiver's advertised window in packets.
+	Window int
+	// InitialSSThresh is the initial slow-start threshold in packets;
+	// zero defaults to Window.
+	InitialSSThresh float64
+	// TotalBytes bounds the transfer; Infinite for an unbounded FTP.
+	TotalBytes int64
+	// SmoothStart enables the slow-start refinement of Wang, Xin,
+	// Reeves & Shin (ISCC 2000) — the paper's reference [21], described
+	// there as orthogonal to recovery enhancements: once cwnd passes
+	// half of ssthresh, growth slows from doubling to ×1.5 per RTT so
+	// the final approach to the knee does not burst the gateway buffer.
+	SmoothStart bool
+	// Trace, if non-nil, records the flow's events.
+	Trace *trace.FlowTrace
+	// OnDone runs when the transfer completes (all bytes acked).
+	OnDone func()
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS <= 0 {
+		c.MSS = DefaultMSS
+	}
+	if c.Window <= 0 {
+		c.Window = 128
+	}
+	if c.InitialSSThresh <= 0 {
+		c.InitialSSThresh = float64(c.Window)
+	}
+	if c.TotalBytes == 0 {
+		c.TotalBytes = Infinite
+	}
+}
+
+// Sender is one TCP connection's sending side. Construct with New and
+// a Strategy; start transmission with Start.
+type Sender struct {
+	sched *sim.Scheduler
+	out   netem.Node
+	cfg   Config
+	strat Strategy
+	tr    *trace.FlowTrace
+
+	sndUna int64 // lowest unacknowledged byte
+	sndNxt int64 // next new byte to transmit
+	maxSeq int64 // highest sequence transmitted so far (snd.nxt high-water)
+
+	cwnd     float64 // packets
+	ssthresh float64 // packets
+	dupAcks  int
+
+	rtt        rttEstimator
+	rtxTimer   *sim.Timer
+	rtoBackoff uint
+
+	// Karn's algorithm: one outstanding RTT measurement at a time,
+	// invalidated by retransmission of the timed segment.
+	rttSeq     int64
+	rttSentAt  sim.Time
+	rttPending bool
+
+	started bool
+	done    bool
+}
+
+var _ netem.Node = (*Sender)(nil)
+
+// New builds a sender transmitting into out under the given strategy.
+func New(sched *sim.Scheduler, out netem.Node, strat Strategy, cfg Config) (*Sender, error) {
+	if sched == nil || out == nil || strat == nil {
+		return nil, fmt.Errorf("tcp: nil scheduler, output node, or strategy")
+	}
+	cfg.fillDefaults()
+	s := &Sender{
+		sched:    sched,
+		out:      out,
+		cfg:      cfg,
+		strat:    strat,
+		tr:       cfg.Trace,
+		cwnd:     1,
+		ssthresh: cfg.InitialSSThresh,
+	}
+	s.rtxTimer = sim.NewTimer(sched, s.onTimeout)
+	return s, nil
+}
+
+// Start schedules the flow to begin transmitting after delay.
+func (s *Sender) Start(delay sim.Time) error {
+	if s.started {
+		return fmt.Errorf("tcp: flow %d already started", s.cfg.Flow)
+	}
+	s.started = true
+	_, err := s.sched.Schedule(delay, func() {
+		s.tr.SetStart(s.sched.Now())
+		s.PumpWindow()
+	})
+	return err
+}
+
+// --- accessors used by strategies and experiments ---
+
+// Now returns the current simulated time.
+func (s *Sender) Now() sim.Time { return s.sched.Now() }
+
+// Flow returns the connection identifier.
+func (s *Sender) Flow() int { return s.cfg.Flow }
+
+// VariantName returns the attached strategy's name.
+func (s *Sender) VariantName() string { return s.strat.Name() }
+
+// MSS returns the segment size in bytes.
+func (s *Sender) MSS() int { return s.cfg.MSS }
+
+// SndUna returns the lowest unacknowledged byte.
+func (s *Sender) SndUna() int64 { return s.sndUna }
+
+// SndNxt returns the next new byte to transmit.
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// MaxSeq returns the highest byte sequence sent so far.
+func (s *Sender) MaxSeq() int64 { return s.maxSeq }
+
+// Cwnd returns the congestion window in packets.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// SetCwnd sets the congestion window (packets), clamped to [1, Window].
+func (s *Sender) SetCwnd(pkts float64) {
+	if pkts < 1 {
+		pkts = 1
+	}
+	if pkts > float64(s.cfg.Window) {
+		pkts = float64(s.cfg.Window)
+	}
+	s.cwnd = pkts
+	s.tr.Add(s.sched.Now(), trace.EvCwnd, s.sndUna, s.cwnd)
+}
+
+// Ssthresh returns the slow-start threshold in packets.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// SetSsthresh sets the slow-start threshold (packets), floored at 2.
+func (s *Sender) SetSsthresh(pkts float64) {
+	if pkts < 2 {
+		pkts = 2
+	}
+	s.ssthresh = pkts
+}
+
+// DupAcks returns the consecutive duplicate-ACK count.
+func (s *Sender) DupAcks() int { return s.dupAcks }
+
+// SetDupAcks overrides the duplicate-ACK count.
+func (s *Sender) SetDupAcks(n int) { s.dupAcks = n }
+
+// FlightPackets estimates outstanding packets as (SndNxt-SndUna)/MSS.
+func (s *Sender) FlightPackets() int {
+	return int((s.sndNxt - s.sndUna) / int64(s.cfg.MSS))
+}
+
+// Window returns the receiver's advertised window in packets.
+func (s *Sender) Window() int { return s.cfg.Window }
+
+// Done reports whether the transfer has completed.
+func (s *Sender) Done() bool { return s.done }
+
+// SRTT exposes the smoothed RTT estimate in seconds.
+func (s *Sender) SRTT() float64 { return s.rtt.SRTT() }
+
+// Trace returns the attached flow trace (may be nil).
+func (s *Sender) Trace() *trace.FlowTrace { return s.tr }
+
+// TotalBytes returns the configured transfer size (Infinite if unbounded).
+func (s *Sender) TotalBytes() int64 { return s.cfg.TotalBytes }
+
+// --- ACK ingress ---
+
+// Receive implements netem.Node for the sender side: it consumes ACKs.
+func (s *Sender) Receive(p *netem.Packet) {
+	if s.done || p.Kind != netem.Ack || p.Flow != s.cfg.Flow {
+		return
+	}
+	if p.AckNo < s.sndUna {
+		return // stale, reordered ACK
+	}
+	ev := AckEvent{
+		AckNo: p.AckNo,
+		SACK:  p.SACK,
+		IsDup: p.AckNo == s.sndUna && s.sndNxt > s.sndUna,
+	}
+	s.tr.Add(s.sched.Now(), trace.EvAckRecv, p.AckNo, 0)
+	if ev.IsDup {
+		s.tr.Add(s.sched.Now(), trace.EvDupAck, p.AckNo, 0)
+	}
+	// RTT sampling (Karn-safe: the pending sample is cancelled whenever
+	// the timed segment is retransmitted).
+	if s.rttPending && p.AckNo > s.rttSeq {
+		s.rtt.sample(s.sched.Now() - s.rttSentAt)
+		s.rttPending = false
+	}
+	if p.AckNo > s.sndUna {
+		s.rtoBackoff = 0
+	}
+	s.strat.OnAck(s, ev)
+}
+
+// AdvanceUna moves the left window edge to ackNo, restarts or stops the
+// retransmission timer, and fires completion. Strategies call it for
+// every ACK that acknowledges new data.
+func (s *Sender) AdvanceUna(ackNo int64) {
+	if ackNo <= s.sndUna {
+		return
+	}
+	s.sndUna = ackNo
+	if s.sndNxt < s.sndUna {
+		s.sndNxt = s.sndUna
+	}
+	if s.cfg.TotalBytes != Infinite && s.sndUna >= s.cfg.TotalBytes {
+		s.complete()
+		return
+	}
+	if s.sndNxt > s.sndUna {
+		s.rtxTimer.Reset(s.currentRTO())
+	} else {
+		s.rtxTimer.Stop()
+	}
+}
+
+func (s *Sender) complete() {
+	s.done = true
+	s.rtxTimer.Stop()
+	s.tr.Add(s.sched.Now(), trace.EvFlowDone, s.sndUna, 0)
+	if s.cfg.OnDone != nil {
+		s.cfg.OnDone()
+	}
+}
+
+// GrowWindow applies the per-ACK slow-start / congestion-avoidance
+// increase: +1 packet per ACK below ssthresh, +1/cwnd above it. With
+// SmoothStart, the upper half of the slow-start region grows at half
+// rate (×1.5 per RTT), the paper's [21] burst-damping refinement.
+func (s *Sender) GrowWindow() {
+	switch {
+	case s.cwnd >= s.ssthresh:
+		s.SetCwnd(s.cwnd + 1/s.cwnd)
+	case s.cfg.SmoothStart && s.cwnd >= s.ssthresh/2:
+		s.SetCwnd(s.cwnd + 0.5)
+	default:
+		s.SetCwnd(s.cwnd + 1)
+	}
+}
+
+// --- transmission ---
+
+// availableBytes reports how much unsent application data remains.
+func (s *Sender) availableBytes() int64 {
+	if s.cfg.TotalBytes == Infinite {
+		return 1 << 62
+	}
+	return s.cfg.TotalBytes - s.sndNxt
+}
+
+// HasNewData reports whether the application has unsent bytes.
+func (s *Sender) HasNewData() bool { return s.availableBytes() > 0 }
+
+// SendNewSegment transmits one new MSS-sized segment at SndNxt,
+// ignoring the congestion window (strategies that meter transmissions
+// themselves — RR, SACK — use this directly). It reports whether a
+// segment was sent.
+func (s *Sender) SendNewSegment() bool {
+	if s.done {
+		return false
+	}
+	avail := s.availableBytes()
+	if avail <= 0 {
+		return false
+	}
+	n := int64(s.cfg.MSS)
+	if avail < n {
+		n = avail
+	}
+	seq := s.sndNxt
+	s.sndNxt += n
+	if s.sndNxt > s.maxSeq {
+		s.maxSeq = s.sndNxt
+	}
+	s.transmit(seq, int(n), false)
+	return true
+}
+
+// PumpWindow sends new segments while the effective window
+// (min(cwnd, advertised window) minus flight) permits.
+func (s *Sender) PumpWindow() {
+	for s.FlightPackets() < s.effectiveWindow() {
+		if !s.SendNewSegment() {
+			return
+		}
+	}
+}
+
+func (s *Sender) effectiveWindow() int {
+	w := s.cwnd
+	if fw := float64(s.cfg.Window); w > fw {
+		w = fw
+	}
+	return int(w)
+}
+
+// Retransmit resends the MSS-sized segment starting at seq.
+func (s *Sender) Retransmit(seq int64) {
+	if s.done {
+		return
+	}
+	n := int64(s.cfg.MSS)
+	if s.cfg.TotalBytes != Infinite && seq+n > s.cfg.TotalBytes {
+		n = s.cfg.TotalBytes - seq
+	}
+	if n <= 0 {
+		return
+	}
+	// Karn: invalidate a pending RTT sample for a retransmitted range.
+	if s.rttPending && seq <= s.rttSeq {
+		s.rttPending = false
+	}
+	s.transmit(seq, int(n), true)
+}
+
+func (s *Sender) transmit(seq int64, n int, rtx bool) {
+	p := &netem.Packet{
+		ID:         netem.NextID(),
+		Flow:       s.cfg.Flow,
+		Kind:       netem.Data,
+		Seq:        seq,
+		Len:        n,
+		Size:       n,
+		Retransmit: rtx,
+	}
+	if rtx {
+		s.tr.Add(s.sched.Now(), trace.EvRetransmit, seq, 0)
+	} else {
+		s.tr.Add(s.sched.Now(), trace.EvSend, seq, 0)
+		if !s.rttPending {
+			s.rttSeq = seq
+			s.rttSentAt = s.sched.Now()
+			s.rttPending = true
+		}
+	}
+	if !s.rtxTimer.Armed() {
+		s.rtxTimer.Reset(s.currentRTO())
+	}
+	s.out.Receive(p)
+}
+
+// GoBackN collapses SndNxt to SndUna so transmission resumes from the
+// first unacknowledged byte, as in Tahoe fast retransmit and timeouts.
+func (s *Sender) GoBackN() {
+	s.sndNxt = s.sndUna
+	s.rttPending = false
+}
+
+// RestartTimer re-arms the retransmission timer at the current RTO, as
+// recovery algorithms do on partial ACKs.
+func (s *Sender) RestartTimer() { s.rtxTimer.Reset(s.currentRTO()) }
+
+func (s *Sender) currentRTO() sim.Time {
+	rto := s.rtt.rto() << s.rtoBackoff
+	if rto > MaxRTO {
+		rto = MaxRTO
+	}
+	return rto
+}
+
+// --- timeout path ---
+
+// onTimeout performs the standard TCP timeout: halve ssthresh from the
+// current flight, collapse cwnd to one segment, go back to SndUna, back
+// off the timer exponentially, and retransmit the first lost segment.
+// The strategy is notified afterwards so it can discard recovery state.
+func (s *Sender) onTimeout() {
+	if s.done {
+		return
+	}
+	s.tr.Add(s.sched.Now(), trace.EvTimeout, s.sndUna, 0)
+	flight := s.FlightPackets()
+	if flight < 2 {
+		flight = 2
+	}
+	s.SetSsthresh(float64(flight) / 2)
+	s.SetCwnd(1)
+	s.dupAcks = 0
+	s.sndNxt = s.sndUna // go-back-N
+	s.rttPending = false
+	if s.rtoBackoff < 6 {
+		s.rtoBackoff++
+	}
+	s.strat.OnTimeout(s)
+	s.Retransmit(s.sndUna)
+	s.rtxTimer.Reset(s.currentRTO())
+}

@@ -1,0 +1,36 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmoothStartSlowerInUpperHalf(t *testing.T) {
+	classic := newTestNet(t, NewTahoe(), testNetConfig{window: 64, ssthresh: 16})
+	classic.start(t)
+	classic.run(100 * time.Millisecond)
+
+	smooth := newTestNet(t, NewTahoe(), testNetConfig{window: 64, ssthresh: 16, smoothStart: true})
+	smooth.start(t)
+	smooth.run(100 * time.Millisecond)
+
+	if smooth.sender.Cwnd() >= classic.sender.Cwnd() {
+		t.Fatalf("smooth-start cwnd %.1f not below classic %.1f",
+			smooth.sender.Cwnd(), classic.sender.Cwnd())
+	}
+}
+
+func TestSmoothStartSameBelowHalfThreshold(t *testing.T) {
+	classic := newTestNet(t, NewTahoe(), testNetConfig{window: 64, ssthresh: 32})
+	classic.start(t)
+	classic.run(50 * time.Millisecond) // cwnd ~8 < ssthresh/2
+
+	smooth := newTestNet(t, NewTahoe(), testNetConfig{window: 64, ssthresh: 32, smoothStart: true})
+	smooth.start(t)
+	smooth.run(50 * time.Millisecond)
+
+	if smooth.sender.Cwnd() != classic.sender.Cwnd() {
+		t.Fatalf("smooth-start diverged below ssthresh/2: %.1f vs %.1f",
+			smooth.sender.Cwnd(), classic.sender.Cwnd())
+	}
+}

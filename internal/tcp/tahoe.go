@@ -1,0 +1,62 @@
+package tcp
+
+import "rrtcp/internal/trace"
+
+// Tahoe implements 4.3BSD-Tahoe loss recovery as modeled by ns-2: on
+// the third duplicate ACK the sender halves ssthresh, collapses cwnd to
+// one segment, and slow-starts again from the lost segment (go-back-N).
+// There is no fast recovery; every loss costs a full slow start, but —
+// as the paper observes — the go-back-N resend makes Tahoe more robust
+// than New-Reno when many packets are lost from one window.
+//
+// As in ns-2 (its "bugfix" option, on by default), a second fast
+// retransmit is suppressed until the cumulative ACK passes the highest
+// sequence outstanding when the previous one fired: go-back-N resends
+// of already-delivered segments produce duplicate ACKs that must not
+// retrigger recovery.
+type Tahoe struct {
+	recover int64
+}
+
+var _ Strategy = (*Tahoe)(nil)
+
+// NewTahoe returns the Tahoe strategy.
+func NewTahoe() *Tahoe { return &Tahoe{} }
+
+// Name implements Strategy.
+func (*Tahoe) Name() string { return "tahoe" }
+
+// OnAck implements Strategy.
+func (t *Tahoe) OnAck(s *Sender, ev AckEvent) {
+	if !ev.IsDup {
+		s.SetDupAcks(0)
+		s.AdvanceUna(ev.AckNo)
+		if s.Done() {
+			return
+		}
+		s.GrowWindow()
+		s.PumpWindow()
+		return
+	}
+	s.SetDupAcks(s.DupAcks() + 1)
+	if s.DupAcks() != DupThresh || s.SndUna() <= t.recover {
+		return
+	}
+	// Fast retransmit, Tahoe style: slow start over from the hole.
+	t.recover = s.MaxSeq()
+	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	flight := s.FlightPackets()
+	if flight < 2 {
+		flight = 2
+	}
+	s.SetSsthresh(float64(flight) / 2)
+	s.SetCwnd(1)
+	s.GoBackN()
+	s.Retransmit(s.SndUna())
+	s.RestartTimer()
+}
+
+// OnTimeout implements Strategy; the Sender's common timeout actions
+// are exactly Tahoe's behavior, so only the fast-retransmit guard needs
+// refreshing.
+func (t *Tahoe) OnTimeout(s *Sender) { t.recover = s.MaxSeq() }

@@ -1,0 +1,84 @@
+package trace
+
+import "rrtcp/internal/sim"
+
+// Sampler polls a scalar probe at a fixed simulated interval and
+// records the series — used for queue occupancy and link utilization,
+// the quantities behind the paper's claim that RR "achieves higher
+// link utilization while recovering the lost packets".
+type Sampler struct {
+	sched    *sim.Scheduler
+	interval sim.Time
+	probe    func() float64
+
+	points  []Point
+	stopped bool
+}
+
+// NewSampler builds a sampler; call Start to begin polling.
+func NewSampler(sched *sim.Scheduler, interval sim.Time, probe func() float64) *Sampler {
+	if interval <= 0 {
+		interval = 1
+	}
+	return &Sampler{sched: sched, interval: interval, probe: probe}
+}
+
+// Start schedules the first poll one interval from now.
+func (s *Sampler) Start() error {
+	_, err := s.sched.Schedule(s.interval, s.tick)
+	return err
+}
+
+func (s *Sampler) tick() {
+	if s.stopped {
+		return
+	}
+	s.points = append(s.points, Point{
+		X: s.sched.Now().Seconds(),
+		Y: s.probe(),
+	})
+	if _, err := s.sched.Schedule(s.interval, s.tick); err != nil {
+		s.stopped = true
+	}
+}
+
+// Stop halts polling after the current tick.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Points returns a copy of the recorded series.
+func (s *Sampler) Points() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Mean returns the arithmetic mean of the sampled values (0 if empty).
+func (s *Sampler) Mean() float64 {
+	if len(s.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.Y
+	}
+	return sum / float64(len(s.points))
+}
+
+// DeltaProbe adapts a monotonically increasing counter (bytes sent,
+// packets forwarded) into a per-interval rate probe: each poll returns
+// the counter's increase since the previous poll.
+func DeltaProbe(counter func() float64) func() float64 {
+	var last float64
+	var primed bool
+	return func() float64 {
+		cur := counter()
+		if !primed {
+			primed = true
+			last = cur
+			return 0
+		}
+		d := cur - last
+		last = cur
+		return d
+	}
+}

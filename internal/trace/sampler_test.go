@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"rrtcp/internal/sim"
+)
+
+func TestSamplerPollsAtInterval(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	calls := 0
+	s := NewSampler(sched, 100*time.Millisecond, func() float64 {
+		calls++
+		return float64(calls)
+	})
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	sched.Run(time.Second)
+	pts := s.Points()
+	if len(pts) != 10 {
+		t.Fatalf("%d samples in 1s at 100ms, want 10", len(pts))
+	}
+	if pts[0].X != 0.1 || pts[9].X != 1.0 {
+		t.Fatalf("sample times wrong: first %v last %v", pts[0].X, pts[9].X)
+	}
+	if s.Mean() != 5.5 {
+		t.Fatalf("mean = %v, want 5.5", s.Mean())
+	}
+}
+
+func TestSamplerStop(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	s := NewSampler(sched, 100*time.Millisecond, func() float64 { return 1 })
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	sched.Run(300 * time.Millisecond)
+	s.Stop()
+	n := len(s.Points())
+	sched.Run(time.Second)
+	if len(s.Points()) > n+1 {
+		t.Fatalf("sampler kept polling after Stop: %d → %d", n, len(s.Points()))
+	}
+}
+
+func TestSamplerEmptyMean(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	s := NewSampler(sched, time.Second, func() float64 { return 1 })
+	if s.Mean() != 0 {
+		t.Fatal("empty mean nonzero")
+	}
+}
+
+func TestDeltaProbe(t *testing.T) {
+	counter := 0.0
+	probe := DeltaProbe(func() float64 { return counter })
+	if got := probe(); got != 0 {
+		t.Fatalf("first poll = %v, want 0 (priming)", got)
+	}
+	counter = 10
+	if got := probe(); got != 10 {
+		t.Fatalf("delta = %v, want 10", got)
+	}
+	counter = 15
+	if got := probe(); got != 5 {
+		t.Fatalf("delta = %v, want 5", got)
+	}
+	if got := probe(); got != 0 {
+		t.Fatalf("idle delta = %v, want 0", got)
+	}
+}
+
+func TestSamplerClampsInterval(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	s := NewSampler(sched, 0, func() float64 { return 1 })
+	if s.interval <= 0 {
+		t.Fatal("non-positive interval not clamped")
+	}
+}

@@ -1,0 +1,231 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rrtcp/internal/core"
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/tcp"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %v → %v", k, got)
+		}
+	}
+}
+
+func TestParseKindAliases(t *testing.T) {
+	cases := map[string]Kind{
+		"NewReno":         NewReno,
+		"new-reno":        NewReno,
+		"  rr ":           RR,
+		"robust-recovery": RR,
+		"SACK":            SACK,
+		"sack-modern":     SACKModern,
+	}
+	for in, want := range cases {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseKind("cubic"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestKindStringsDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, k := range Kinds() {
+		s := k.String()
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind has empty String")
+	}
+}
+
+func TestNeedsSACKReceiver(t *testing.T) {
+	for _, k := range Kinds() {
+		want := k == SACK || k == SACKModern || k == FACK
+		if k.NeedsSACKReceiver() != want {
+			t.Fatalf("NeedsSACKReceiver(%v) = %v", k, !want)
+		}
+	}
+}
+
+func TestNewStrategyAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		spec := FlowSpec{Kind: k}
+		strat, err := spec.NewStrategy()
+		if err != nil {
+			t.Fatalf("NewStrategy(%v): %v", k, err)
+		}
+		if strat.Name() != k.String() {
+			t.Fatalf("strategy name %q != kind %q", strat.Name(), k.String())
+		}
+	}
+	if _, err := (FlowSpec{Kind: Kind(99)}).NewStrategy(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestNewStrategyRROptions(t *testing.T) {
+	spec := FlowSpec{Kind: RR, RROptions: &core.Options{RetreatDupsPerSegment: 1}}
+	strat, err := spec.NewStrategy()
+	if err != nil {
+		t.Fatalf("NewStrategy: %v", err)
+	}
+	if _, ok := strat.(*core.RRStrategy); !ok {
+		t.Fatalf("strategy %T, want *core.RRStrategy", strat)
+	}
+}
+
+func TestInstallWiresEndToEnd(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(2))
+	if err != nil {
+		t.Fatalf("dumbbell: %v", err)
+	}
+	flows, err := InstallAll(sched, d, []FlowSpec{
+		{Kind: RR, Bytes: 20 * 1000},
+		{Kind: SACK, Bytes: 20 * 1000, StartAt: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	sched.Run(30 * time.Second)
+	for i, f := range flows {
+		if !f.Sender.Done() {
+			t.Fatalf("flow %d incomplete", i)
+		}
+		if f.Receiver.Delivered != 20*1000 {
+			t.Fatalf("flow %d delivered %d", i, f.Receiver.Delivered)
+		}
+	}
+	if !flows[1].Receiver.SACKEnabled {
+		t.Fatal("SACK flow installed without a SACK receiver")
+	}
+	if flows[0].Receiver.SACKEnabled {
+		t.Fatal("RR flow installed with a SACK receiver")
+	}
+}
+
+func TestInstallDefaultsInfiniteBytes(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(1))
+	if err != nil {
+		t.Fatalf("dumbbell: %v", err)
+	}
+	f, err := Install(sched, d, 0, FlowSpec{Kind: Tahoe})
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if f.Sender.TotalBytes() != tcp.Infinite {
+		t.Fatalf("TotalBytes = %d, want Infinite", f.Sender.TotalBytes())
+	}
+	sched.Run(time.Second)
+	if f.Sender.Done() {
+		t.Fatal("infinite flow completed")
+	}
+}
+
+func TestInstallRejectsBadKind(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(1))
+	if err != nil {
+		t.Fatalf("dumbbell: %v", err)
+	}
+	if _, err := Install(sched, d, 0, FlowSpec{Kind: Kind(42)}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("round trip %v → %v", k, back)
+		}
+	}
+	var k Kind
+	if err := json.Unmarshal([]byte(`"cubic"`), &k); err == nil {
+		t.Fatal("unknown variant unmarshalled")
+	}
+	if err := json.Unmarshal([]byte(`42`), &k); err == nil {
+		t.Fatal("numeric kind unmarshalled")
+	}
+}
+
+func TestInstallReverseEndToEnd(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(1))
+	if err != nil {
+		t.Fatalf("dumbbell: %v", err)
+	}
+	f, err := InstallReverse(sched, d, 0, FlowSpec{Kind: RR, Bytes: 30 * 1000, Window: 18})
+	if err != nil {
+		t.Fatalf("install reverse: %v", err)
+	}
+	sched.Run(30 * time.Second)
+	if !f.Sender.Done() {
+		t.Fatal("reverse transfer did not complete")
+	}
+	if f.Receiver.Delivered != 30*1000 {
+		t.Fatalf("delivered %d", f.Receiver.Delivered)
+	}
+	if f.Trace.Name != "rr-rev" {
+		t.Fatalf("trace name %q", f.Trace.Name)
+	}
+}
+
+func TestInstallReverseRejectsBadKind(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(1))
+	if err != nil {
+		t.Fatalf("dumbbell: %v", err)
+	}
+	if _, err := InstallReverse(sched, d, 0, FlowSpec{Kind: Kind(42)}); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestForwardAndReverseShareSlot(t *testing.T) {
+	// A forward flow on slot 0 and a reverse flow on slot 1 coexist.
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(2))
+	if err != nil {
+		t.Fatalf("dumbbell: %v", err)
+	}
+	fwd, err := Install(sched, d, 0, FlowSpec{Kind: NewReno, Bytes: 20 * 1000, Window: 18})
+	if err != nil {
+		t.Fatalf("fwd: %v", err)
+	}
+	rev, err := InstallReverse(sched, d, 1, FlowSpec{Kind: NewReno, Bytes: 20 * 1000, Window: 18})
+	if err != nil {
+		t.Fatalf("rev: %v", err)
+	}
+	sched.Run(60 * time.Second)
+	if !fwd.Sender.Done() || !rev.Sender.Done() {
+		t.Fatalf("fwd done=%t rev done=%t", fwd.Sender.Done(), rev.Sender.Done())
+	}
+}

@@ -1,0 +1,304 @@
+// Package rrtcp is the public API of this reproduction of "Robust TCP
+// Congestion Recovery" (Wang & Shin, ICDCS 2001). It exposes the
+// discrete-event simulator, the network elements, the TCP senders
+// (Tahoe, Reno, New-Reno, SACK, and the paper's Robust Recovery), and
+// the experiment runners that regenerate every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	sched := rrtcp.NewScheduler(1)
+//	net, _ := rrtcp.NewDumbbell(sched, rrtcp.PaperDropTailConfig(1))
+//	flow, _ := rrtcp.InstallFlow(sched, net, 0, rrtcp.FlowSpec{
+//		Kind:  rrtcp.RR,
+//		Bytes: 100 * 1000,
+//	})
+//	sched.Run(30 * time.Second)
+//	delay, _ := flow.Trace.TransferDelay()
+//
+// See the examples/ directory for complete programs.
+package rrtcp
+
+import (
+	"io"
+
+	"rrtcp/internal/core"
+	"rrtcp/internal/experiments"
+	"rrtcp/internal/model"
+	"rrtcp/internal/netem"
+	"rrtcp/internal/scenario"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/tcp"
+	"rrtcp/internal/trace"
+	"rrtcp/internal/workload"
+)
+
+// --- simulation engine ---
+
+// Scheduler is the deterministic discrete-event engine driving a run.
+type Scheduler = sim.Scheduler
+
+// Time is a simulated instant (an offset from the simulation epoch).
+type Time = sim.Time
+
+// NewScheduler returns an engine with the clock at zero and all
+// randomness derived from seed.
+func NewScheduler(seed int64) *Scheduler { return sim.NewScheduler(seed) }
+
+// --- network elements ---
+
+type (
+	// Packet is a simulated TCP segment or acknowledgment.
+	Packet = netem.Packet
+	// Node consumes packets; all network elements implement it.
+	Node = netem.Node
+	// Link is a point-to-point link with bandwidth and delay.
+	Link = netem.Link
+	// DumbbellConfig describes the paper's Figure 4 topology.
+	DumbbellConfig = netem.DumbbellConfig
+	// Dumbbell is the instantiated n-flow dumbbell network.
+	Dumbbell = netem.Dumbbell
+	// REDConfig carries the RED gateway parameters of Table 4.
+	REDConfig = netem.REDConfig
+	// SACKBlock is a selective-acknowledgment block.
+	SACKBlock = netem.SACKBlock
+)
+
+type (
+	// SeqLoss drops listed (flow, sequence) pairs exactly once — the
+	// deterministic loss patterns behind the Figure 5 scenarios.
+	SeqLoss = netem.SeqLoss
+	// UniformLoss drops data packets i.i.d. with a fixed probability —
+	// the artificial losses of the Figure 7 experiment.
+	UniformLoss = netem.UniformLoss
+)
+
+// NewSeqLoss returns a deterministic loss injector, ready to be placed
+// at the bottleneck via DumbbellConfig.Loss.
+func NewSeqLoss() *SeqLoss { return netem.NewSeqLoss(nil) }
+
+// NewUniformLoss returns a random loss injector drawing from the
+// scheduler's deterministic random source.
+func NewUniformLoss(s *Scheduler, rate float64) *UniformLoss {
+	return netem.NewUniformLoss(rate, s.Rand(), nil)
+}
+
+// GilbertLoss is the two-state correlated (bursty) loss channel.
+type GilbertLoss = netem.GilbertLoss
+
+// NewGilbertLoss returns a Gilbert-Elliott loss channel; see the netem
+// documentation for the stationary rate and burst-length formulas.
+func NewGilbertLoss(s *Scheduler, pGoodToBad, pBadToGood, pDropBad float64) *GilbertLoss {
+	return netem.NewGilbertLoss(pGoodToBad, pBadToGood, pDropBad, s.Rand(), nil)
+}
+
+// QueueDiscipline is a gateway buffer policy (drop-tail or RED).
+type QueueDiscipline = netem.QueueDiscipline
+
+// NewDropTailQueue returns a finite FIFO measured in packets.
+func NewDropTailQueue(limit int) QueueDiscipline { return netem.NewDropTail(limit) }
+
+// NewDRRQueue returns a deficit-round-robin fair queue.
+func NewDRRQueue(quantumBytes, limitPackets int) QueueDiscipline {
+	return netem.NewDRR(quantumBytes, limitPackets)
+}
+
+// NewREDQueue returns a RED gateway queue whose drop decisions draw
+// from the scheduler's deterministic random source.
+func NewREDQueue(s *Scheduler, cfg REDConfig) QueueDiscipline {
+	return netem.NewRED(cfg, s.Rand())
+}
+
+// NewDumbbell builds the Figure 4 topology.
+func NewDumbbell(s *Scheduler, cfg DumbbellConfig) (*Dumbbell, error) {
+	return netem.NewDumbbell(s, cfg)
+}
+
+// PaperDropTailConfig returns the Table 3 drop-tail configuration.
+func PaperDropTailConfig(flows int) DumbbellConfig {
+	return netem.PaperDropTailConfig(flows)
+}
+
+// PaperREDConfig returns the Table 4 RED configuration.
+func PaperREDConfig() REDConfig { return netem.PaperREDConfig() }
+
+// --- TCP ---
+
+type (
+	// Sender is one connection's sending side.
+	Sender = tcp.Sender
+	// Receiver is the data sink; it never needs modification for RR.
+	Receiver = tcp.Receiver
+	// Strategy is the pluggable congestion-control state machine.
+	Strategy = tcp.Strategy
+	// RROptions exposes RR's ablation knobs.
+	RROptions = core.Options
+)
+
+// Infinite marks an unbounded transfer.
+const Infinite = tcp.Infinite
+
+// DefaultMSS is the paper's 1000-byte segment size.
+const DefaultMSS = tcp.DefaultMSS
+
+// NewRRStrategy returns the paper's Robust Recovery algorithm.
+func NewRRStrategy() Strategy { return core.NewRR() }
+
+// NewRRStrategyWithOptions returns RR with design knobs overridden.
+func NewRRStrategyWithOptions(opts RROptions) Strategy {
+	return core.NewRRWithOptions(opts)
+}
+
+// --- flows and workloads ---
+
+type (
+	// Kind selects a TCP loss-recovery variant.
+	Kind = workload.Kind
+	// FlowSpec describes one connection to install.
+	FlowSpec = workload.FlowSpec
+	// Flow is an installed connection.
+	Flow = workload.Flow
+	// FlowTrace records a flow's time series and counters.
+	FlowTrace = trace.FlowTrace
+)
+
+// The TCP variants under evaluation: the paper's lineup plus the
+// related-work schemes its introduction analyzes (right-edge recovery,
+// Lin-Kung) and a modern RFC 6675-style SACK.
+const (
+	Tahoe      = workload.Tahoe
+	Reno       = workload.Reno
+	NewReno    = workload.NewReno
+	SACK       = workload.SACK
+	SACKModern = workload.SACKModern
+	RR         = workload.RR
+	RightEdge  = workload.RightEdge
+	LinKung    = workload.LinKung
+	FACK       = workload.FACK
+)
+
+// Kinds lists every variant in evaluation order.
+func Kinds() []Kind { return workload.Kinds() }
+
+// ParseKind converts a variant name ("tahoe", "newreno", "rr", ...).
+func ParseKind(s string) (Kind, error) { return workload.ParseKind(s) }
+
+// InstallFlow wires a flow into slot idx of the dumbbell.
+func InstallFlow(s *Scheduler, d *Dumbbell, idx int, spec FlowSpec) (*Flow, error) {
+	return workload.Install(s, d, idx, spec)
+}
+
+// InstallFlows installs one flow per spec.
+func InstallFlows(s *Scheduler, d *Dumbbell, specs []FlowSpec) ([]*Flow, error) {
+	return workload.InstallAll(s, d, specs)
+}
+
+// InstallReverseFlow wires a flow whose data crosses the bottleneck in
+// the opposite direction, for two-way-traffic scenarios.
+func InstallReverseFlow(s *Scheduler, d *Dumbbell, idx int, spec FlowSpec) (*Flow, error) {
+	return workload.InstallReverse(s, d, idx, spec)
+}
+
+// --- analytic models (paper §4) ---
+
+// SqrtModelWindow returns the Mathis et al. bound C/sqrt(p) in packets.
+func SqrtModelWindow(p, c float64) float64 { return model.SqrtWindow(p, c) }
+
+// CAckEveryPacket is the Mathis constant for ACK-every-packet receivers.
+const CAckEveryPacket = model.CAckEveryPacket
+
+// PadhyeModelWindow returns the timeout-aware Padhye et al. window.
+func PadhyeModelWindow(rttSeconds, t0Seconds, p float64, b int) float64 {
+	return model.PadhyeWindow(rttSeconds, t0Seconds, p, b)
+}
+
+// --- experiment runners (one per table/figure) ---
+
+type (
+	// Figure5Config / Figure5Result: drop-tail burst-loss throughput.
+	Figure5Config = experiments.Figure5Config
+	Figure5Result = experiments.Figure5Result
+	// Figure6Config / Figure6Result: RED-gateway sequence traces.
+	Figure6Config = experiments.Figure6Config
+	Figure6Result = experiments.Figure6Result
+	// Figure7Config / Figure7Result: square-root-model fitness.
+	Figure7Config = experiments.Figure7Config
+	Figure7Result = experiments.Figure7Result
+	// Table5Config / Table5Case / Table5Result: fairness matrix.
+	Table5Config = experiments.Table5Config
+	Table5Case   = experiments.Table5Case
+	Table5Result = experiments.Table5Result
+	// AckLossConfig / AckLossResult: §2.3 ACK-loss robustness.
+	AckLossConfig = experiments.AckLossConfig
+	AckLossResult = experiments.AckLossResult
+	// FairShareConfig / FairShareResult: §2.3 fair-share claim (FIFO vs
+	// DRR gateways on the ACK path).
+	FairShareConfig = experiments.FairShareConfig
+	FairShareResult = experiments.FairShareResult
+	// TwoWayConfig / TwoWayResult: two-way traffic extension ([22]).
+	TwoWayConfig = experiments.TwoWayConfig
+	TwoWayResult = experiments.TwoWayResult
+	// SmoothStartConfig / SmoothStartResult: slow-start overshoot
+	// comparison against the paper's companion refinement ([21]).
+	SmoothStartConfig = experiments.SmoothStartConfig
+	SmoothStartResult = experiments.SmoothStartResult
+	// BurstyConfig / BurstyResult: Gilbert-Elliott correlated-loss
+	// sweep (the paper's [18] loss regime).
+	BurstyConfig = experiments.BurstyConfig
+	BurstyResult = experiments.BurstyResult
+	// AblationResult: RR design-choice matrix.
+	AblationResult = experiments.AblationResult
+)
+
+// RunFigure5 regenerates one Figure 5 panel.
+func RunFigure5(cfg Figure5Config) (*Figure5Result, error) { return experiments.Figure5(cfg) }
+
+// RunFigure6 regenerates the Figure 6 panels.
+func RunFigure6(cfg Figure6Config) (*Figure6Result, error) { return experiments.Figure6(cfg) }
+
+// RunFigure7 regenerates the Figure 7 sweep.
+func RunFigure7(cfg Figure7Config) (*Figure7Result, error) { return experiments.Figure7(cfg) }
+
+// RunTable5 regenerates the Table 5 fairness matrix.
+func RunTable5(cfg Table5Config) (*Table5Result, error) { return experiments.Table5(cfg) }
+
+// RunAckLoss runs the §2.3 ACK-loss robustness sweep.
+func RunAckLoss(cfg AckLossConfig) (*AckLossResult, error) { return experiments.AckLoss(cfg) }
+
+// RunFairShare runs the §2.3 fair-share gateway comparison.
+func RunFairShare(cfg FairShareConfig) (*FairShareResult, error) {
+	return experiments.FairShare(cfg)
+}
+
+// RunTwoWay runs the two-way-traffic extension experiment.
+func RunTwoWay(cfg TwoWayConfig) (*TwoWayResult, error) {
+	return experiments.TwoWay(cfg)
+}
+
+// RunSmoothStart runs the slow-start overshoot comparison.
+func RunSmoothStart(cfg SmoothStartConfig) (*SmoothStartResult, error) {
+	return experiments.SmoothStart(cfg)
+}
+
+// RunBursty runs the Gilbert-Elliott correlated-loss sweep.
+func RunBursty(cfg BurstyConfig) (*BurstyResult, error) {
+	return experiments.Bursty(cfg)
+}
+
+// --- user-defined scenarios ---
+
+type (
+	// Scenario is a JSON-described simulation: topology, losses, flows.
+	Scenario = scenario.Spec
+	// ScenarioReport is a completed scenario's per-flow outcome.
+	ScenarioReport = scenario.Report
+)
+
+// LoadScenario parses a scenario from JSON.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// LoadScenarioFile parses a scenario from a file.
+func LoadScenarioFile(path string) (*Scenario, error) { return scenario.LoadFile(path) }
+
+// RunAblation runs the RR design ablation matrix.
+func RunAblation(drops int) (*AblationResult, error) { return experiments.Ablation(drops) }

@@ -16,6 +16,7 @@ package rrtcp_test
 // Microbenchmarks at the bottom cover the substrate hot paths.
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/tcp"
+	"rrtcp/internal/telemetry"
 )
 
 // --- Figure 5: drop-tail burst-loss throughput ---
@@ -51,6 +53,58 @@ func benchFigure5(b *testing.B, drops int) {
 func BenchmarkFigure5Drop3(b *testing.B) { benchFigure5(b, 3) }
 func BenchmarkFigure5Drop6(b *testing.B) { benchFigure5(b, 6) }
 func BenchmarkFigure5Drop8(b *testing.B) { benchFigure5(b, 8) }
+
+// --- telemetry overhead ---
+//
+// The three benchmarks below quantify what the observability layer
+// costs a Figure 5 run: nothing attached (the shipping default, one nil
+// check per event site), a bus draining into the NDJSON encoder, and a
+// bus retaining events in memory.
+
+func benchFigure5Telemetry(b *testing.B, mkBus func() *rrtcp.TelemetryBus) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := rrtcp.RunFigure5(rrtcp.Figure5Config{Drops: 3, Telemetry: mkBus()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if row, ok := res.Row(rrtcp.RR); !ok || !row.Finished {
+			b.Fatal("rr did not finish")
+		}
+	}
+}
+
+func BenchmarkFigure5NullSink(b *testing.B) {
+	benchFigure5Telemetry(b, func() *rrtcp.TelemetryBus { return nil })
+}
+
+func BenchmarkFigure5NDJSONSink(b *testing.B) {
+	benchFigure5Telemetry(b, func() *rrtcp.TelemetryBus {
+		return rrtcp.NewTelemetryBus(rrtcp.NewNDJSONSink(io.Discard))
+	})
+}
+
+func BenchmarkFigure5RingSink(b *testing.B) {
+	benchFigure5Telemetry(b, func() *rrtcp.TelemetryBus {
+		return rrtcp.NewTelemetryBus(rrtcp.NewTelemetryRing(4096))
+	})
+}
+
+func BenchmarkNDJSONEmit(b *testing.B) {
+	sink := rrtcp.NewNDJSONSink(io.Discard)
+	ev := rrtcp.TelemetryEvent{
+		At:   time.Second,
+		Comp: telemetry.CompRR,
+		Kind: telemetry.KRecoveryEnter,
+		Flow: 0, Seq: 60000, A: 13.6, B: 6.5,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink.Emit(ev)
+	}
+}
 
 // --- Figure 6: RED gateway panels ---
 

@@ -48,6 +48,8 @@ func run(args []string) error {
 	variants := fs.String("variants", "", "comma-separated variant list (fig5), e.g. tahoe,rr,fack")
 	delack := fs.Bool("delack", false, "run receivers with delayed ACKs (fig7)")
 	traceOut := fs.String("trace", "", "write flow 0's event trace as CSV to this file (run)")
+	events := fs.String("events", "", "stream structured telemetry as NDJSON to this file, for rrtrace (fig5/run)")
+	metrics := fs.Bool("metrics", false, "print the aggregated metrics snapshot to stderr (fig5/run)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -59,7 +61,7 @@ func run(args []string) error {
 
 	switch cmd {
 	case "fig5":
-		return runFigure5(emit, *drops, *seed, *variants)
+		return runFigure5(emit, *drops, *seed, *variants, *events, *metrics)
 	case "fig6":
 		return runFigure6(emit, *seed)
 	case "fig7":
@@ -78,14 +80,14 @@ func run(args []string) error {
 		return runBursty(emit)
 	case "run":
 		if fs.NArg() != 1 {
-			return fmt.Errorf("usage: rrsim run [-json] [-trace out.csv] <scenario.json>")
+			return fmt.Errorf("usage: rrsim run [-json] [-trace out.csv] [-events out.ndjson] [-metrics] <scenario.json>")
 		}
-		return runScenario(emit, fs.Arg(0), *traceOut)
+		return runScenario(emit, fs.Arg(0), *traceOut, *events, *metrics)
 	case "ablation":
 		return runAblation(emit, *drops)
 	case "all":
 		for _, d := range []int{3, 6} {
-			if err := runFigure5(emit, d, *seed, *variants); err != nil {
+			if err := runFigure5(emit, d, *seed, *variants, "", false); err != nil {
 				return err
 			}
 		}
@@ -133,7 +135,7 @@ func renderJSON(_ string, result any) error {
 	return enc.Encode(result)
 }
 
-func runFigure5(emit renderer, drops int, seed int64, variants string) error {
+func runFigure5(emit renderer, drops int, seed int64, variants, events string, metrics bool) error {
 	cfg := rrtcp.Figure5Config{Drops: drops, Seed: seed}
 	if variants != "" {
 		for _, name := range strings.Split(variants, ",") {
@@ -144,11 +146,59 @@ func runFigure5(emit renderer, drops int, seed int64, variants string) error {
 			cfg.Variants = append(cfg.Variants, kind)
 		}
 	}
+	bus, finish, err := telemetrySetup(events, metrics)
+	if err != nil {
+		return err
+	}
+	cfg.Telemetry = bus
 	res, err := rrtcp.RunFigure5(cfg)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return err
 	}
 	return emit(res.Render(), res)
+}
+
+// telemetrySetup builds the bus behind -events and -metrics. The
+// returned finish func flushes the NDJSON stream and prints the metrics
+// snapshot; it must run even when the experiment fails.
+func telemetrySetup(eventsPath string, metrics bool) (*rrtcp.TelemetryBus, func() error, error) {
+	if eventsPath == "" && !metrics {
+		return nil, func() error { return nil }, nil
+	}
+	var sinks []rrtcp.TelemetrySink
+	var nd *rrtcp.NDJSONSink
+	var f *os.File
+	if eventsPath != "" {
+		var err error
+		f, err = os.Create(eventsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		nd = rrtcp.NewNDJSONSink(f)
+		sinks = append(sinks, nd)
+	}
+	var ms *rrtcp.MetricsSink
+	if metrics {
+		ms = rrtcp.NewMetricsSink()
+		sinks = append(sinks, ms)
+	}
+	finish := func() error {
+		var err error
+		if nd != nil {
+			err = nd.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if ms != nil {
+			fmt.Fprint(os.Stderr, ms.R.Snapshot())
+		}
+		return err
+	}
+	return rrtcp.NewTelemetryBus(sinks...), finish, nil
 }
 
 func runFigure6(emit renderer, seed int64) error {
@@ -221,26 +271,38 @@ func runBursty(emit renderer) error {
 	return emit(res.Render(), res)
 }
 
-func runScenario(emit renderer, path, traceOut string) error {
+func runScenario(emit renderer, path, traceOut, events string, metrics bool) error {
 	spec, err := rrtcp.LoadScenarioFile(path)
 	if err != nil {
 		return err
 	}
+	bus, finish, err := telemetrySetup(events, metrics)
+	if err != nil {
+		return err
+	}
+	spec.Telemetry = bus
 	var rep *rrtcp.ScenarioReport
 	if traceOut != "" {
 		f, err := os.Create(traceOut)
 		if err != nil {
+			finish()
 			return err
 		}
 		rep, err = spec.RunWithTrace(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
 		if err != nil {
 			return err
 		}
 	} else {
 		rep, err = spec.Run()
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
 		if err != nil {
 			return err
 		}

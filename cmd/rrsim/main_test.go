@@ -199,6 +199,62 @@ func TestRunScenarioTraceExport(t *testing.T) {
 	}
 }
 
+func TestRunFig5EventsExport(t *testing.T) {
+	dir := t.TempDir()
+	events := dir + "/events.ndjson"
+	if _, err := capture(t, func() error {
+		return run([]string{"fig5", "-variants", "rr", "-events", events})
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatalf("events file: %v", err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		`"kind":"recovery-enter"`,
+		`"kind":"retreat-probe"`,
+		`"kind":"recovery-exit"`,
+		`"comp":"loss"`,
+		`"src":"fwd"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("event log missing %s", want)
+		}
+	}
+	// Each line must be standalone JSON.
+	for i, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d invalid: %v", i+1, err)
+		}
+	}
+}
+
+func TestRunScenarioEventsExport(t *testing.T) {
+	dir := t.TempDir()
+	spec := dir + "/s.json"
+	events := dir + "/events.ndjson"
+	if err := os.WriteFile(spec,
+		[]byte(`{"duration":"10s","loss":{"drops":[{"flow":0,"packets":[60,61,63]}]},`+
+			`"flows":[{"kind":"rr","packets":150,"window":18}]}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"run", "-events", events, spec})
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatalf("events file: %v", err)
+	}
+	if !strings.Contains(string(data), `"kind":"recovery-enter"`) {
+		t.Fatal("scenario event log missing recovery events")
+	}
+}
+
 func TestRunSmoothStartSubcommand(t *testing.T) {
 	out, err := capture(t, func() error { return run([]string{"smoothstart"}) })
 	if err != nil {

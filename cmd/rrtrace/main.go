@@ -1,0 +1,105 @@
+// Command rrtrace inspects NDJSON event logs produced by
+// rrsim -events (or any telemetry.NDJSONSink).
+//
+// Usage:
+//
+//	rrtrace summary <events.ndjson>
+//	    Per-flow counters, recovery episodes (retreat/probe durations,
+//	    further losses, exit window), and per-queue drop counts.
+//
+//	rrtrace filter [-flow n] [-comp c] [-kind k] [-from s] [-to s] <events.ndjson>
+//	    Re-emit matching records as NDJSON, e.g. for piping into jq.
+//
+//	rrtrace timeline [-flow n] [-width n] [-height n] <events.ndjson>
+//	    ASCII plot of one flow's cwnd/actnum with a recovery-phase strip.
+//
+// A path of "-" reads from stdin.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rrtcp/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: rrtrace {summary|filter|timeline} [flags] <events.ndjson>")
+	}
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	flow := fs.Int("flow", -1, "restrict to one flow id (filter/timeline; timeline default 0)")
+	comp := fs.String("comp", "", "restrict to a component, e.g. rr, sender, queue (filter)")
+	kind := fs.String("kind", "", "restrict to an event kind, e.g. drop, recovery-enter (filter)")
+	from := fs.Float64("from", 0, "discard records before this time in seconds (filter)")
+	to := fs.Float64("to", 0, "discard records after this time in seconds; 0 = unbounded (filter)")
+	width := fs.Int("width", 72, "plot width in columns (timeline)")
+	height := fs.Int("height", 16, "plot height in rows (timeline)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: rrtrace %s [flags] <events.ndjson>", cmd)
+	}
+	records, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "summary":
+		fmt.Print(telemetry.Summarize(records).Render())
+		return nil
+	case "filter":
+		opts := telemetry.FilterOpts{
+			Comp: *comp,
+			Kind: *kind,
+			From: *from,
+			To:   *to,
+		}
+		if *flow >= 0 {
+			opts.Flow = int32(*flow)
+			opts.FlowSet = true
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range telemetry.Filter(records, opts) {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "timeline":
+		id := int32(0)
+		if *flow >= 0 {
+			id = int32(*flow)
+		}
+		fmt.Print(telemetry.Timeline(records, id, *width, *height))
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func load(path string) ([]telemetry.Record, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return telemetry.DecodeNDJSON(r)
+}

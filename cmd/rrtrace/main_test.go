@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rrtcp/internal/telemetry"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return buf.String(), runErr
+}
+
+// writeLog synthesizes a small event log with one full RR recovery
+// episode and a queue drop.
+func writeLog(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	sink := telemetry.NewNDJSONSink(f)
+	for _, ev := range []telemetry.Event{
+		{At: 0, Comp: telemetry.CompSender, Kind: telemetry.KSend, Flow: 0},
+		{At: 500 * time.Millisecond, Comp: telemetry.CompSender, Kind: telemetry.KCwnd, Flow: 0, A: 8},
+		{At: 900 * time.Millisecond, Comp: telemetry.CompQueue, Kind: telemetry.KDrop, Src: "fwd", Flow: 0, A: 8, B: 1},
+		{At: time.Second, Comp: telemetry.CompRR, Kind: telemetry.KRecoveryEnter, Flow: 0, A: 13, B: 6.5},
+		{At: 1200 * time.Millisecond, Comp: telemetry.CompRR, Kind: telemetry.KRetreatProbe, Flow: 0, A: 4},
+		{At: 1500 * time.Millisecond, Comp: telemetry.CompRR, Kind: telemetry.KRecoveryExit, Flow: 0, A: 5},
+		{At: 2 * time.Second, Comp: telemetry.CompSender, Kind: telemetry.KFlowDone, Flow: 0},
+	} {
+		sink.Emit(ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return path
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run([]string{"bogus", writeLog(t)}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run([]string{"summary"}); err == nil {
+		t.Fatal("missing path accepted")
+	}
+	if err := run([]string{"summary", "/does/not/exist.ndjson"}); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"summary", writeLog(t)}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"7 events", "episodes", "fwd", "exit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFilterByComp(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"filter", "-comp", "rr", writeLog(t)})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("filtered lines = %d, want 3:\n%s", len(lines), out)
+	}
+	// Output must itself be decodable NDJSON.
+	recs, err := telemetry.DecodeNDJSON(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("filter output not valid NDJSON: %v", err)
+	}
+	if recs[0].Kind != "recovery-enter" {
+		t.Fatalf("first filtered kind = %q", recs[0].Kind)
+	}
+}
+
+func TestFilterByKindAndTime(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"filter", "-kind", "drop", "-from", "0.5", "-to", "1.0", writeLog(t)})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	recs, err := telemetry.DecodeNDJSON(strings.NewReader(out))
+	if err != nil || len(recs) != 1 || recs[0].Src != "fwd" {
+		t.Fatalf("filter wrong: recs=%+v err=%v", recs, err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"timeline", "-flow", "0", "-width", "40", "-height", "8", writeLog(t)})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"flow 0", "phase:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	data, err := os.ReadFile(writeLog(t))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	oldIn := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = oldIn }()
+	go func() {
+		w.Write(data)
+		w.Close()
+	}()
+	out, err := capture(t, func() error { return run([]string{"summary", "-"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "7 events") {
+		t.Fatalf("stdin summary wrong:\n%s", out)
+	}
+}

@@ -29,7 +29,7 @@ package core
 
 import (
 	"rrtcp/internal/tcp"
-	"rrtcp/internal/trace"
+	"rrtcp/internal/telemetry"
 )
 
 // phase tracks where the sender is in the RR state machine.
@@ -158,12 +158,14 @@ func (r *RRStrategy) enter(s *tcp.Sender) {
 	// the three that triggered fast retransmit are already in ndup.
 	r.ndup = s.DupAcks()
 	r.retreatSent = 0
-	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2
 	}
 	s.SetSsthresh(float64(flight) / 2)
+	// enter-recovery marks the start of the retreat sub-phase; cwnd is
+	// reported untouched — it is out of the control loop until exit.
+	s.Emit(telemetry.CompRR, telemetry.KRecoveryEnter, s.SndUna(), s.Cwnd(), s.Ssthresh())
 	s.Retransmit(s.SndUna())
 	s.RestartTimer()
 }
@@ -194,7 +196,7 @@ func (r *RRStrategy) onAckRetreat(s *tcp.Sender, ev tcp.AckEvent) {
 	// First partial ACK: retreat → probe.
 	r.phase = phaseProbe
 	r.ndup = 0
-	s.Trace().Add(s.Now(), trace.EvPhaseFlip, ev.AckNo, float64(r.actnum))
+	s.Emit(telemetry.CompRR, telemetry.KRetreatProbe, ev.AckNo, float64(r.actnum), 0)
 	s.AdvanceUna(ev.AckNo)
 	if s.Done() {
 		return
@@ -222,7 +224,7 @@ func (r *RRStrategy) onAckProbe(s *tcp.Sender, ev tcp.AckEvent) {
 	grow := true
 	if !r.opts.DisableFurtherLossDetection && r.ndup < r.actnum {
 		r.FurtherLosses++
-		s.Trace().Add(s.Now(), trace.EvFurther, ev.AckNo, float64(r.actnum-r.ndup))
+		s.Emit(telemetry.CompRR, telemetry.KFurtherLoss, ev.AckNo, float64(r.actnum), float64(r.ndup))
 		if r.opts.HalveOnFurtherLoss {
 			r.actnum /= 2
 		} else {
@@ -245,6 +247,9 @@ func (r *RRStrategy) onAckProbe(s *tcp.Sender, ev tcp.AckEvent) {
 		r.actnum++
 		s.SendNewSegment()
 	}
+	// One actnum/ndup sample per recovery RTT, after the grow/shrink
+	// decision — the state evolution behind the paper's Figure 3.
+	s.Emit(telemetry.CompRR, telemetry.KActnum, ev.AckNo, float64(r.actnum), float64(r.ndup))
 	r.ndup = 0
 }
 
@@ -262,7 +267,9 @@ func (r *RRStrategy) exit(s *tcp.Sender, ackNo int64) {
 		}
 		s.SetCwnd(cw)
 	}
-	s.Trace().Add(s.Now(), trace.EvExit, ackNo, s.Cwnd())
+	// Seamless exit: cwnd = actnum × MSS hands control back with no
+	// big-ACK burst.
+	s.Emit(telemetry.CompRR, telemetry.KRecoveryExit, ackNo, s.Cwnd(), 0)
 	r.actnum = 0
 	r.ndup = 0
 	s.SetDupAcks(0)

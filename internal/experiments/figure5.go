@@ -7,6 +7,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/tcp"
+	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
 	"rrtcp/internal/workload"
 )
@@ -30,6 +31,10 @@ type Figure5Config struct {
 	Variants []workload.Kind `json:"variants"`
 	// Seed for the scheduler (the scenario itself is deterministic).
 	Seed int64 `json:"seed"`
+	// Telemetry, when non-nil, receives structured events from every
+	// variant's run: flow events plus the instrumented bottleneck links,
+	// queues, and loss injector.
+	Telemetry *telemetry.Bus `json:"-"`
 }
 
 func (c *Figure5Config) fillDefaults() {
@@ -125,12 +130,17 @@ func figure5Run(cfg Figure5Config, kind workload.Kind) (Figure5Row, error) {
 	if err != nil {
 		return Figure5Row{}, err
 	}
+	if cfg.Telemetry.Enabled() {
+		d.Instrument(cfg.Telemetry)
+		telemetry.AttachSchedulerProfile(sched, cfg.Telemetry, 4096)
+	}
 
 	flow, err := workload.Install(sched, d, 0, workload.FlowSpec{
 		Kind:            kind,
 		Bytes:           int64(cfg.TransferPackets) * mss,
 		Window:          18,
 		InitialSSThresh: 9,
+		Telemetry:       cfg.Telemetry,
 	})
 	if err != nil {
 		return Figure5Row{}, err

@@ -21,6 +21,7 @@ type GilbertLoss struct {
 
 	rng *rand.Rand
 	bad bool
+	lossTelemetry
 
 	// Dropped and Forwarded count outcomes.
 	Dropped   uint64
@@ -28,8 +29,9 @@ type GilbertLoss struct {
 }
 
 var (
-	_ Node      = (*GilbertLoss)(nil)
-	_ DstSetter = (*GilbertLoss)(nil)
+	_ Node             = (*GilbertLoss)(nil)
+	_ DstSetter        = (*GilbertLoss)(nil)
+	_ LossInstrumenter = (*GilbertLoss)(nil)
 )
 
 // SetDst implements DstSetter.
@@ -79,6 +81,7 @@ func (g *GilbertLoss) Receive(p *Packet) {
 	}
 	if g.bad && g.rng.Float64() < g.PDropBad {
 		g.Dropped++
+		g.emitDrop(p)
 		return
 	}
 	g.Forwarded++

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
 )
 
 // Link is a point-to-point unidirectional link with a fixed bandwidth
@@ -22,6 +23,9 @@ type Link struct {
 
 	queue *Queue
 	busy  bool
+
+	bus  *telemetry.Bus
+	name string
 
 	// TxPackets and TxBytes count transmitted traffic.
 	TxPackets uint64
@@ -51,6 +55,15 @@ func NewLink(sched *sim.Scheduler, bandwidthBps float64, delay sim.Time, q Queue
 // traces.
 func (l *Link) Queue() *Queue { return l.queue }
 
+// Instrument attaches the telemetry bus to the link and its queue
+// under the given instance name: the link publishes a link-tx event
+// per serialized packet (utilization), the queue publishes
+// enqueue/drop/mark events (occupancy, loss accounting).
+func (l *Link) Instrument(bus *telemetry.Bus, name string) {
+	l.bus, l.name = bus, name
+	l.queue.Instrument(bus, name)
+}
+
 // Receive implements Node: enqueue the packet and start transmitting if
 // the link is idle.
 func (l *Link) Receive(p *Packet) {
@@ -79,6 +92,18 @@ func (l *Link) transmitNext() {
 	txDelay := l.TransmissionDelay(p.Size)
 	l.TxPackets++
 	l.TxBytes += uint64(p.Size)
+	if l.bus.Enabled() {
+		l.bus.Publish(telemetry.Event{
+			At:   l.sched.Now(),
+			Comp: telemetry.CompLink,
+			Kind: telemetry.KLinkTx,
+			Src:  l.name,
+			Flow: int32(p.Flow),
+			Seq:  p.Seq,
+			A:    float64(p.Size),
+			B:    float64(l.queue.Len()),
+		})
+	}
 	// The packet leaves the queue now and arrives after tx+prop delay;
 	// the link is free to start the next packet after tx delay alone.
 	if _, err := l.sched.Schedule(txDelay+l.Delay, func() { l.Dst.Receive(p) }); err != nil {
@@ -96,18 +121,59 @@ type Queue struct {
 	disc  QueueDiscipline
 	sched *sim.Scheduler
 
+	bus  *telemetry.Bus
+	name string
+
 	// Drops counts packets rejected by the discipline.
 	Drops uint64
 	// Enqueued counts packets accepted.
 	Enqueued uint64
 }
 
+// Instrument attaches the telemetry bus under the given instance name.
+func (q *Queue) Instrument(bus *telemetry.Bus, name string) {
+	q.bus, q.name = bus, name
+}
+
 func (q *Queue) enqueue(p *Packet) bool {
-	if !q.disc.Enqueue(p, q.sched.Now()) {
+	now := q.sched.Now()
+	if !q.disc.Enqueue(p, now) {
 		q.Drops++
+		if q.bus.Enabled() {
+			// RED early (probabilistic) drops are reported as "mark"
+			// events, the congestion-signal reading of an RED drop;
+			// everything else is a forced drop (buffer overflow or
+			// average above the max threshold).
+			ev := telemetry.Event{
+				At:   now,
+				Comp: telemetry.CompQueue,
+				Kind: telemetry.KDrop,
+				Src:  q.name,
+				Flow: int32(p.Flow),
+				Seq:  p.Seq,
+				A:    float64(q.disc.Len()),
+				B:    1,
+			}
+			if red, ok := q.disc.(*REDQueue); ok && red.lastDropEarly {
+				ev.Kind = telemetry.KMark
+				ev.B = red.AvgQueue()
+			}
+			q.bus.Publish(ev)
+		}
 		return false
 	}
 	q.Enqueued++
+	if q.bus.Enabled() {
+		q.bus.Publish(telemetry.Event{
+			At:   now,
+			Comp: telemetry.CompQueue,
+			Kind: telemetry.KEnqueue,
+			Src:  q.name,
+			Flow: int32(p.Flow),
+			Seq:  p.Seq,
+			A:    float64(q.disc.Len()),
+		})
+	}
 	return true
 }
 

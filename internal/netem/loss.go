@@ -1,11 +1,51 @@
 package netem
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
+)
 
 // DstSetter is implemented by loss modules whose downstream node the
 // topology wires up when the module is installed at a gateway.
 type DstSetter interface {
 	SetDst(Node)
+}
+
+// LossInstrumenter is implemented by loss modules that can publish
+// per-drop telemetry; Dumbbell.Instrument wires installed modules up
+// through it.
+type LossInstrumenter interface {
+	Instrument(sched *sim.Scheduler, bus *telemetry.Bus, name string)
+}
+
+// lossTelemetry is the shared publishing state of the loss modules.
+// Its zero value is inert.
+type lossTelemetry struct {
+	sched *sim.Scheduler
+	bus   *telemetry.Bus
+	name  string
+}
+
+// Instrument implements LossInstrumenter.
+func (lt *lossTelemetry) Instrument(sched *sim.Scheduler, bus *telemetry.Bus, name string) {
+	lt.sched, lt.bus, lt.name = sched, bus, name
+}
+
+// emitDrop publishes one injected-loss event for p.
+func (lt *lossTelemetry) emitDrop(p *Packet) {
+	if lt.sched == nil || !lt.bus.Enabled() {
+		return
+	}
+	lt.bus.Publish(telemetry.Event{
+		At:   lt.sched.Now(),
+		Comp: telemetry.CompLoss,
+		Kind: telemetry.KDrop,
+		Src:  lt.name,
+		Flow: int32(p.Flow),
+		Seq:  p.Seq,
+	})
 }
 
 // UniformLoss drops data packets independently with a fixed probability
@@ -23,6 +63,7 @@ type UniformLoss struct {
 	Dst Node
 
 	rng *rand.Rand
+	lossTelemetry
 
 	// Dropped and Forwarded count outcomes.
 	Dropped   uint64
@@ -30,8 +71,9 @@ type UniformLoss struct {
 }
 
 var (
-	_ Node      = (*UniformLoss)(nil)
-	_ DstSetter = (*UniformLoss)(nil)
+	_ Node             = (*UniformLoss)(nil)
+	_ DstSetter        = (*UniformLoss)(nil)
+	_ LossInstrumenter = (*UniformLoss)(nil)
 )
 
 // SetDst implements DstSetter.
@@ -48,6 +90,7 @@ func (u *UniformLoss) Receive(p *Packet) {
 	eligible := p.Kind == Data || u.DropAcks
 	if eligible && u.rng.Float64() < u.Rate {
 		u.Dropped++
+		u.emitDrop(p)
 		return
 	}
 	u.Forwarded++
@@ -69,13 +112,16 @@ type SeqLoss struct {
 	rtx     map[int]map[int64]bool // flow -> seq -> drop the retransmission too
 	acks    map[int]map[int64]bool // flow -> ackno -> drop the next such ACK
 
+	lossTelemetry
+
 	// Dropped counts packets removed.
 	Dropped uint64
 }
 
 var (
-	_ Node      = (*SeqLoss)(nil)
-	_ DstSetter = (*SeqLoss)(nil)
+	_ Node             = (*SeqLoss)(nil)
+	_ DstSetter        = (*SeqLoss)(nil)
+	_ LossInstrumenter = (*SeqLoss)(nil)
 )
 
 // SetDst implements DstSetter.
@@ -138,6 +184,7 @@ func (s *SeqLoss) Receive(p *Packet) {
 		if set := s.acks[p.Flow]; set != nil && set[p.AckNo] {
 			delete(set, p.AckNo)
 			s.Dropped++
+			s.emitDrop(p)
 			return
 		}
 	}
@@ -149,6 +196,7 @@ func (s *SeqLoss) Receive(p *Packet) {
 		if set != nil && set[p.Seq] {
 			delete(set, p.Seq)
 			s.Dropped++
+			s.emitDrop(p)
 			return
 		}
 	}

@@ -114,6 +114,11 @@ type REDQueue struct {
 	idleSince sim.Time
 	idle      bool
 
+	// lastDropEarly distinguishes the most recent rejection for the
+	// queue wrapper's telemetry: true for a probabilistic early drop,
+	// false for a forced one.
+	lastDropEarly bool
+
 	// EarlyDrops and ForcedDrops split drops by cause for tracing.
 	EarlyDrops  uint64
 	ForcedDrops uint64
@@ -143,10 +148,12 @@ func (r *REDQueue) Enqueue(p *Packet, now sim.Time) bool {
 	case len(r.fifo) >= r.cfg.Limit:
 		r.ForcedDrops++
 		r.count = 0
+		r.lastDropEarly = false
 		return false
 	case r.avg >= r.cfg.MaxThreshold:
 		r.ForcedDrops++
 		r.count = 0
+		r.lastDropEarly = false
 		return false
 	case r.avg >= r.cfg.MinThreshold:
 		r.count++
@@ -161,6 +168,7 @@ func (r *REDQueue) Enqueue(p *Packet, now sim.Time) bool {
 		if r.rng.Float64() < pa {
 			r.EarlyDrops++
 			r.count = 0
+			r.lastDropEarly = true
 			return false
 		}
 	default:

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
 )
 
 // Demux routes packets to per-flow destinations; it models the routing
@@ -75,7 +76,8 @@ func PaperDropTailConfig(flows int) DumbbellConfig {
 // delivery goes to the nodes registered with ConnectSender /
 // ConnectReceiver.
 type Dumbbell struct {
-	cfg DumbbellConfig
+	cfg   DumbbellConfig
+	sched *sim.Scheduler
 
 	senderLinks   []*Link // S_i -> R1
 	receiverLinks []*Link // R2 -> K_i
@@ -106,6 +108,7 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig) (*Dumbbell, error) {
 
 	d := &Dumbbell{
 		cfg:      cfg,
+		sched:    sched,
 		fwdDemux: NewDemux(),
 		revDemux: NewDemux(),
 	}
@@ -165,3 +168,17 @@ func (d *Dumbbell) ReverseLink() *Link { return d.reverse }
 
 // Config returns the configuration used to build the topology.
 func (d *Dumbbell) Config() DumbbellConfig { return d.cfg }
+
+// Instrument attaches the telemetry bus to the contended elements of
+// the topology: the forward (data) and reverse (ACK) bottleneck links
+// with their queues, named "fwd" and "rev", plus any installed loss
+// module, named "inject". The uncongested side links are left silent —
+// they never drop by construction, and instrumenting them would multiply
+// event volume without adding signal.
+func (d *Dumbbell) Instrument(bus *telemetry.Bus) {
+	d.forward.Instrument(bus, "fwd")
+	d.reverse.Instrument(bus, "rev")
+	if inst, ok := d.cfg.Loss.(LossInstrumenter); ok {
+		inst.Instrument(d.sched, bus, "inject")
+	}
+}

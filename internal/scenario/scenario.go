@@ -14,6 +14,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/tcp"
+	"rrtcp/internal/telemetry"
 	"rrtcp/internal/workload"
 )
 
@@ -153,6 +154,11 @@ type Spec struct {
 	Loss *LossSpec `json:"loss,omitempty"`
 	// Flows lists the connections.
 	Flows []FlowSpec `json:"flows"`
+	// Telemetry, when non-nil, receives structured events from every
+	// flow plus the instrumented bottleneck links, queues, and loss
+	// injector. Set programmatically (e.g. by rrsim -events); not part
+	// of the JSON schema.
+	Telemetry *telemetry.Bus `json:"-"`
 }
 
 // FlowReport is one flow's outcome.
@@ -305,6 +311,10 @@ func (s *Spec) RunWithTrace(w io.Writer) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Telemetry.Enabled() {
+		d.Instrument(s.Telemetry)
+		telemetry.AttachSchedulerProfile(sched, s.Telemetry, 4096)
+	}
 
 	flows := make([]*workload.Flow, 0, len(s.Flows))
 	for i, fs := range s.Flows {
@@ -327,6 +337,7 @@ func (s *Spec) RunWithTrace(w io.Writer) (*Report, error) {
 			InitialSSThresh: fs.SSThresh,
 			DelayedAck:      fs.DelayedAck,
 			SmoothStart:     fs.SmoothStart,
+			Telemetry:       s.Telemetry,
 		}
 		var flow *workload.Flow
 		if fs.Reverse {

@@ -86,6 +86,10 @@ type Scheduler struct {
 
 	// Processed counts events that have fired, for diagnostics.
 	processed uint64
+
+	// Profiling hook, fired every profEvery processed events.
+	profEvery uint64
+	profHook  func(now Time, processed uint64, pending int)
 }
 
 // NewScheduler returns a scheduler whose clock reads zero and whose
@@ -106,6 +110,19 @@ func (s *Scheduler) Pending() int { return s.queue.Len() }
 
 // Processed reports the number of events that have fired so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// SetProfileHook installs fn to be called every `every` processed
+// events with the current time, the total processed count, and the
+// heap depth — the scheduler-side feed for telemetry profiling. A nil
+// fn or zero interval removes the hook. The hook runs synchronously on
+// the simulation goroutine and must not schedule or cancel events.
+func (s *Scheduler) SetProfileHook(every uint64, fn func(now Time, processed uint64, pending int)) {
+	if fn == nil || every == 0 {
+		s.profEvery, s.profHook = 0, nil
+		return
+	}
+	s.profEvery, s.profHook = every, fn
+}
 
 // Schedule enqueues fn to run after delay and returns a handle that can
 // cancel it. A negative delay returns ErrScheduleInPast.
@@ -171,6 +188,9 @@ func (s *Scheduler) run(until Time, advanceClock bool) {
 		popped.dead = true
 		s.processed++
 		popped.fn()
+		if s.profHook != nil && s.processed%s.profEvery == 0 {
+			s.profHook(s.now, s.processed, s.queue.Len())
+		}
 	}
 	if !s.stopped && advanceClock && s.now < until {
 		s.now = until

@@ -58,6 +58,36 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileEdgeCases(t *testing.T) {
+	// A single sample is every percentile.
+	for _, p := range []float64{0, 25, 50, 100} {
+		if got := Percentile([]float64{7}, p); !almost(got, 7) {
+			t.Fatalf("single-sample p%v = %v, want 7", p, got)
+		}
+	}
+	// Unsorted input must give the same answers as sorted.
+	unsorted := []float64{5, 1, 4, 2, 3}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	} {
+		if got := Percentile(unsorted, c.p); !almost(got, c.want) {
+			t.Fatalf("unsorted p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// p0 and p100 are exact extremes, never interpolated.
+	xs := []float64{2.5, -1.5, 9.25}
+	if got := Percentile(xs, 0); !almost(got, -1.5) {
+		t.Fatalf("p0 = %v, want -1.5", got)
+	}
+	if got := Percentile(xs, 100); !almost(got, 9.25) {
+		t.Fatalf("p100 = %v, want 9.25", got)
+	}
+	// Duplicates collapse cleanly.
+	if got := Percentile([]float64{4, 4, 4, 4}, 50); !almost(got, 4) {
+		t.Fatalf("duplicate p50 = %v, want 4", got)
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)

@@ -1,6 +1,6 @@
 package tcp
 
-import "rrtcp/internal/trace"
+import "rrtcp/internal/telemetry"
 
 // FACKStrategy implements FACK TCP (Mathis & Mahdavi, SIGCOMM'96 — the
 // paper's [13]): forward acknowledgment refines SACK recovery by
@@ -68,7 +68,7 @@ func (f *FACKStrategy) enter(s *Sender) {
 	f.inRecovery = true
 	f.recover = s.MaxSeq()
 	f.rtxOut = make(map[int64]bool)
-	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	s.Emit(telemetry.CompSender, telemetry.KRecoveryEnter, s.SndUna(), s.Cwnd(), s.Ssthresh())
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2
@@ -90,7 +90,7 @@ func (f *FACKStrategy) onNewAckInRecovery(s *Sender, ev AckEvent) {
 		f.inRecovery = false
 		s.SetDupAcks(0)
 		s.SetCwnd(s.Ssthresh())
-		s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		s.Emit(telemetry.CompSender, telemetry.KRecoveryExit, ev.AckNo, s.Cwnd(), 0)
 		s.AdvanceUna(ev.AckNo)
 		if s.Done() {
 			return

@@ -1,6 +1,6 @@
 package tcp
 
-import "rrtcp/internal/trace"
+import "rrtcp/internal/telemetry"
 
 // NewRenoStrategy implements the modified fast recovery of Hoe / RFC
 // 2582: a partial ACK retransmits the next hole immediately and keeps
@@ -56,7 +56,7 @@ func (n *NewRenoStrategy) onNewAckInRecovery(s *Sender, ev AckEvent) {
 		n.inRecovery = false
 		s.SetDupAcks(0)
 		s.SetCwnd(s.Ssthresh())
-		s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		s.Emit(telemetry.CompSender, telemetry.KRecoveryExit, ev.AckNo, s.Cwnd(), 0)
 		s.AdvanceUna(ev.AckNo)
 		if s.Done() {
 			return
@@ -85,7 +85,7 @@ func (n *NewRenoStrategy) onNewAckInRecovery(s *Sender, ev AckEvent) {
 func (n *NewRenoStrategy) enter(s *Sender) {
 	n.inRecovery = true
 	n.recover = s.MaxSeq()
-	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	s.Emit(telemetry.CompSender, telemetry.KRecoveryEnter, s.SndUna(), s.Cwnd(), s.Ssthresh())
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2

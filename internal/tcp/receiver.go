@@ -5,6 +5,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
 )
 
@@ -42,6 +43,9 @@ type Receiver struct {
 	ackTimer *sim.Timer
 
 	tr *trace.FlowTrace
+
+	// Telemetry, when non-nil, receives the receiver's delivery events.
+	Telemetry *telemetry.Bus
 
 	// Delivered counts in-order bytes handed to the application.
 	Delivered int64
@@ -143,7 +147,15 @@ func (r *Receiver) advance(end int64) {
 		r.blocks = r.blocks[1:]
 	}
 	r.Delivered = r.rcvNxt
-	r.tr.Add(r.sched.Now(), trace.EvDeliver, r.rcvNxt, 0)
+	ev := telemetry.Event{
+		At:   r.sched.Now(),
+		Comp: telemetry.CompRecv,
+		Kind: telemetry.KDeliver,
+		Flow: int32(r.flow),
+		Seq:  r.rcvNxt,
+	}
+	r.tr.OnEvent(ev)
+	r.Telemetry.Publish(ev)
 }
 
 func (r *Receiver) insert(nb seqRange) {

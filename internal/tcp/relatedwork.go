@@ -1,6 +1,6 @@
 package tcp
 
-import "rrtcp/internal/trace"
+import "rrtcp/internal/telemetry"
 
 // The two related-work enhancements the paper's introduction analyzes
 // and argues against. Both keep TCP aggressive around loss detection;
@@ -54,7 +54,7 @@ func (e *RightEdge) OnAck(s *Sender, ev AckEvent) {
 func (e *RightEdge) enter(s *Sender) {
 	e.inRecovery = true
 	e.recover = s.MaxSeq()
-	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	s.Emit(telemetry.CompSender, telemetry.KRecoveryEnter, s.SndUna(), s.Cwnd(), s.Ssthresh())
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2
@@ -70,7 +70,7 @@ func (e *RightEdge) onNewAckInRecovery(s *Sender, ev AckEvent) {
 		e.inRecovery = false
 		s.SetDupAcks(0)
 		s.SetCwnd(s.Ssthresh())
-		s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		s.Emit(telemetry.CompSender, telemetry.KRecoveryExit, ev.AckNo, s.Cwnd(), 0)
 		s.AdvanceUna(ev.AckNo)
 		if s.Done() {
 			return

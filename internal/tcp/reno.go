@@ -1,6 +1,6 @@
 package tcp
 
-import "rrtcp/internal/trace"
+import "rrtcp/internal/telemetry"
 
 // Reno implements 4.3BSD-Reno fast recovery: on the third duplicate
 // ACK the sender retransmits the hole, halves the window, and inflates
@@ -36,7 +36,7 @@ func (r *Reno) OnAck(s *Sender, ev AckEvent) {
 			// partial or not.
 			r.inRecovery = false
 			s.SetCwnd(s.Ssthresh())
-			s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+			s.Emit(telemetry.CompSender, telemetry.KRecoveryExit, ev.AckNo, s.Cwnd(), 0)
 		} else {
 			s.GrowWindow()
 		}
@@ -64,7 +64,7 @@ func (r *Reno) OnAck(s *Sender, ev AckEvent) {
 func (r *Reno) enter(s *Sender) {
 	r.inRecovery = true
 	r.recover = s.MaxSeq()
-	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	s.Emit(telemetry.CompSender, telemetry.KRecoveryEnter, s.SndUna(), s.Cwnd(), s.Ssthresh())
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2

@@ -2,7 +2,7 @@ package tcp
 
 import (
 	"rrtcp/internal/netem"
-	"rrtcp/internal/trace"
+	"rrtcp/internal/telemetry"
 )
 
 // SACKStrategy implements SACK TCP. Two modes are provided:
@@ -135,7 +135,7 @@ func (k *SACKStrategy) enter(s *Sender) {
 	k.inRecovery = true
 	k.recover = s.MaxSeq()
 	k.rtxDone = make(map[int64]bool)
-	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	s.Emit(telemetry.CompSender, telemetry.KRecoveryEnter, s.SndUna(), s.Cwnd(), s.Ssthresh())
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2
@@ -157,7 +157,7 @@ func (k *SACKStrategy) onNewAckInRecovery(s *Sender, ev AckEvent) {
 		k.inRecovery = false
 		s.SetDupAcks(0)
 		s.SetCwnd(s.Ssthresh())
-		s.Trace().Add(s.Now(), trace.EvExit, ev.AckNo, s.Cwnd())
+		s.Emit(telemetry.CompSender, telemetry.KRecoveryExit, ev.AckNo, s.Cwnd(), 0)
 		s.AdvanceUna(ev.AckNo)
 		if s.Done() {
 			return

@@ -12,6 +12,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
 )
 
@@ -77,6 +78,11 @@ type Config struct {
 	SmoothStart bool
 	// Trace, if non-nil, records the flow's events.
 	Trace *trace.FlowTrace
+	// Telemetry, if non-nil, receives every sender event the trace
+	// does (plus recovery-internal ones) as structured telemetry. The
+	// FlowTrace is wired in as a direct per-flow subscriber of the same
+	// event stream, so the two never diverge.
+	Telemetry *telemetry.Bus
 	// OnDone runs when the transfer completes (all bytes acked).
 	OnDone func()
 }
@@ -104,6 +110,7 @@ type Sender struct {
 	cfg   Config
 	strat Strategy
 	tr    *trace.FlowTrace
+	bus   *telemetry.Bus
 
 	sndUna int64 // lowest unacknowledged byte
 	sndNxt int64 // next new byte to transmit
@@ -141,6 +148,7 @@ func New(sched *sim.Scheduler, out netem.Node, strat Strategy, cfg Config) (*Sen
 		cfg:      cfg,
 		strat:    strat,
 		tr:       cfg.Trace,
+		bus:      cfg.Telemetry,
 		cwnd:     1,
 		ssthresh: cfg.InitialSSThresh,
 	}
@@ -196,7 +204,7 @@ func (s *Sender) SetCwnd(pkts float64) {
 		pkts = float64(s.cfg.Window)
 	}
 	s.cwnd = pkts
-	s.tr.Add(s.sched.Now(), trace.EvCwnd, s.sndUna, s.cwnd)
+	s.Emit(telemetry.CompSender, telemetry.KCwnd, s.sndUna, s.cwnd, 0)
 }
 
 // Ssthresh returns the slow-start threshold in packets.
@@ -233,6 +241,28 @@ func (s *Sender) SRTT() float64 { return s.rtt.SRTT() }
 // Trace returns the attached flow trace (may be nil).
 func (s *Sender) Trace() *trace.FlowTrace { return s.tr }
 
+// Telemetry returns the attached event bus (may be nil).
+func (s *Sender) Telemetry() *telemetry.Bus { return s.bus }
+
+// Emit publishes one structured event for this flow: to the attached
+// FlowTrace (a direct subscriber of the same stream) and to the shared
+// telemetry bus. Strategies use it for recovery phase transitions; the
+// sender itself uses it for the segment/ACK/timer lifecycle. With no
+// trace and a nil bus it costs two nil checks.
+func (s *Sender) Emit(comp telemetry.Component, kind telemetry.Kind, seq int64, a, b float64) {
+	ev := telemetry.Event{
+		At:   s.sched.Now(),
+		Comp: comp,
+		Kind: kind,
+		Flow: int32(s.cfg.Flow),
+		Seq:  seq,
+		A:    a,
+		B:    b,
+	}
+	s.tr.OnEvent(ev)
+	s.bus.Publish(ev)
+}
+
 // TotalBytes returns the configured transfer size (Infinite if unbounded).
 func (s *Sender) TotalBytes() int64 { return s.cfg.TotalBytes }
 
@@ -251,9 +281,9 @@ func (s *Sender) Receive(p *netem.Packet) {
 		SACK:  p.SACK,
 		IsDup: p.AckNo == s.sndUna && s.sndNxt > s.sndUna,
 	}
-	s.tr.Add(s.sched.Now(), trace.EvAckRecv, p.AckNo, 0)
+	s.Emit(telemetry.CompSender, telemetry.KAck, p.AckNo, 0, 0)
 	if ev.IsDup {
-		s.tr.Add(s.sched.Now(), trace.EvDupAck, p.AckNo, 0)
+		s.Emit(telemetry.CompSender, telemetry.KDupAck, p.AckNo, 0, 0)
 	}
 	// RTT sampling (Karn-safe: the pending sample is cancelled whenever
 	// the timed segment is retransmitted).
@@ -292,7 +322,7 @@ func (s *Sender) AdvanceUna(ackNo int64) {
 func (s *Sender) complete() {
 	s.done = true
 	s.rtxTimer.Stop()
-	s.tr.Add(s.sched.Now(), trace.EvFlowDone, s.sndUna, 0)
+	s.Emit(telemetry.CompSender, telemetry.KFlowDone, s.sndUna, 0, 0)
 	if s.cfg.OnDone != nil {
 		s.cfg.OnDone()
 	}
@@ -399,9 +429,9 @@ func (s *Sender) transmit(seq int64, n int, rtx bool) {
 		Retransmit: rtx,
 	}
 	if rtx {
-		s.tr.Add(s.sched.Now(), trace.EvRetransmit, seq, 0)
+		s.Emit(telemetry.CompSender, telemetry.KRetransmit, seq, 0, 0)
 	} else {
-		s.tr.Add(s.sched.Now(), trace.EvSend, seq, 0)
+		s.Emit(telemetry.CompSender, telemetry.KSend, seq, 0, 0)
 		if !s.rttPending {
 			s.rttSeq = seq
 			s.rttSentAt = s.sched.Now()
@@ -443,7 +473,7 @@ func (s *Sender) onTimeout() {
 	if s.done {
 		return
 	}
-	s.tr.Add(s.sched.Now(), trace.EvTimeout, s.sndUna, 0)
+	s.Emit(telemetry.CompSender, telemetry.KTimeout, s.sndUna, 0, 0)
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2

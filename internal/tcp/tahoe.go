@@ -1,6 +1,6 @@
 package tcp
 
-import "rrtcp/internal/trace"
+import "rrtcp/internal/telemetry"
 
 // Tahoe implements 4.3BSD-Tahoe loss recovery as modeled by ns-2: on
 // the third duplicate ACK the sender halves ssthresh, collapses cwnd to
@@ -44,7 +44,7 @@ func (t *Tahoe) OnAck(s *Sender, ev AckEvent) {
 	}
 	// Fast retransmit, Tahoe style: slow start over from the hole.
 	t.recover = s.MaxSeq()
-	s.Trace().Add(s.Now(), trace.EvRecovery, s.SndUna(), s.Cwnd())
+	s.Emit(telemetry.CompSender, telemetry.KRecoveryEnter, s.SndUna(), s.Cwnd(), s.Ssthresh())
 	flight := s.FlightPackets()
 	if flight < 2 {
 		flight = 2

@@ -1,0 +1,379 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the read-side analysis cmd/rrtrace is built on: recovery
+// episode extraction, per-queue drop accounting, record filtering, and
+// an ASCII timeline of one flow's cwnd/actnum/phase evolution.
+
+// Episode is one recovery pass through the RR (or baseline) state
+// machine, reconstructed from phase-transition events.
+type Episode struct {
+	Flow    int32
+	Start   float64 // recovery-enter time (s)
+	ProbeAt float64 // retreat→probe flip time (s); <0 if never reached
+	End     float64 // recovery-exit time (s); <0 if cut short (timeout/EOF)
+	// ExitCwnd is the hand-off window at exit (RR: actnum×MSS in packets).
+	ExitCwnd float64
+	// FurtherLosses counts ndup<actnum detections inside the episode.
+	FurtherLosses int
+	// Timeout reports the episode ended in a retransmission timeout
+	// rather than a clean exit.
+	Timeout bool
+}
+
+// RetreatDur is the retreat sub-phase duration in seconds (0 when the
+// probe flip never happened).
+func (e Episode) RetreatDur() float64 {
+	if e.ProbeAt < 0 {
+		if e.End >= 0 {
+			return e.End - e.Start
+		}
+		return 0
+	}
+	return e.ProbeAt - e.Start
+}
+
+// ProbeDur is the probe sub-phase duration in seconds.
+func (e Episode) ProbeDur() float64 {
+	if e.ProbeAt < 0 || e.End < 0 {
+		return 0
+	}
+	return e.End - e.ProbeAt
+}
+
+// FlowSummary aggregates one flow's events.
+type FlowSummary struct {
+	Flow        int32
+	Sends       int
+	Retransmits int
+	Timeouts    int
+	DupAcks     int
+	Done        bool
+	DoneAt      float64
+	Episodes    []Episode
+}
+
+// QueueDrops is the drop count of one queue/loss instance.
+type QueueDrops struct {
+	Comp   string
+	Src    string
+	Drops  int
+	Forced int // KDrop events with forced=1 (queue overflow vs RED early)
+}
+
+// LogSummary is the full analysis of an event log.
+type LogSummary struct {
+	From, To float64
+	Events   int
+	Flows    []FlowSummary // sorted by flow id
+	Queues   []QueueDrops  // sorted by comp then src
+}
+
+// Summarize reconstructs per-flow recovery episodes and per-queue drop
+// counts from a decoded event log.
+func Summarize(records []Record) LogSummary {
+	sum := LogSummary{Events: len(records)}
+	flows := map[int32]*FlowSummary{}
+	open := map[int32]*Episode{} // in-progress episode per flow
+	drops := map[[2]string]*QueueDrops{}
+
+	flowOf := func(id int32) *FlowSummary {
+		f := flows[id]
+		if f == nil {
+			f = &FlowSummary{Flow: id, DoneAt: -1}
+			flows[id] = f
+		}
+		return f
+	}
+
+	for i, r := range records {
+		if i == 0 || r.T < sum.From {
+			sum.From = r.T
+		}
+		if r.T > sum.To {
+			sum.To = r.T
+		}
+		switch r.Kind {
+		case KDrop.String():
+			key := [2]string{r.Comp, r.Src}
+			d := drops[key]
+			if d == nil {
+				d = &QueueDrops{Comp: r.Comp, Src: r.Src}
+				drops[key] = d
+			}
+			d.Drops++
+			if r.Attr("forced", 0) != 0 {
+				d.Forced++
+			}
+			continue
+		case KMark.String():
+			key := [2]string{r.Comp, r.Src}
+			d := drops[key]
+			if d == nil {
+				d = &QueueDrops{Comp: r.Comp, Src: r.Src}
+				drops[key] = d
+			}
+			d.Drops++
+			continue
+		}
+		if r.Flow == NoFlow {
+			continue
+		}
+		f := flowOf(r.Flow)
+		switch r.Kind {
+		case KSend.String():
+			f.Sends++
+		case KRetransmit.String():
+			f.Retransmits++
+		case KDupAck.String():
+			f.DupAcks++
+		case KTimeout.String():
+			f.Timeouts++
+			if ep := open[r.Flow]; ep != nil {
+				ep.Timeout = true
+				ep.End = r.T
+				f.Episodes = append(f.Episodes, *ep)
+				delete(open, r.Flow)
+			}
+		case KFlowDone.String():
+			f.Done = true
+			f.DoneAt = r.T
+		case KRecoveryEnter.String():
+			open[r.Flow] = &Episode{Flow: r.Flow, Start: r.T, ProbeAt: -1, End: -1}
+		case KRetreatProbe.String():
+			if ep := open[r.Flow]; ep != nil && ep.ProbeAt < 0 {
+				ep.ProbeAt = r.T
+			}
+		case KFurtherLoss.String():
+			if ep := open[r.Flow]; ep != nil {
+				ep.FurtherLosses++
+			}
+		case KRecoveryExit.String():
+			if ep := open[r.Flow]; ep != nil {
+				ep.End = r.T
+				ep.ExitCwnd = r.Attr("cwnd", 0)
+				f.Episodes = append(f.Episodes, *ep)
+				delete(open, r.Flow)
+			}
+		}
+	}
+	// Episodes still open at EOF are reported with End < 0.
+	for id, ep := range open {
+		flowOf(id).Episodes = append(flowOf(id).Episodes, *ep)
+	}
+
+	for _, f := range flows {
+		sort.Slice(f.Episodes, func(i, j int) bool { return f.Episodes[i].Start < f.Episodes[j].Start })
+		sum.Flows = append(sum.Flows, *f)
+	}
+	sort.Slice(sum.Flows, func(i, j int) bool { return sum.Flows[i].Flow < sum.Flows[j].Flow })
+	for _, d := range drops {
+		sum.Queues = append(sum.Queues, *d)
+	}
+	sort.Slice(sum.Queues, func(i, j int) bool {
+		if sum.Queues[i].Comp != sum.Queues[j].Comp {
+			return sum.Queues[i].Comp < sum.Queues[j].Comp
+		}
+		return sum.Queues[i].Src < sum.Queues[j].Src
+	})
+	return sum
+}
+
+// Render formats the summary as the tables rrtrace prints.
+func (s LogSummary) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events over %.3fs..%.3fs\n\n", s.Events, s.From, s.To)
+	fmt.Fprintf(&b, "%-5s %-6s %-5s %-9s %-8s %-9s %s\n",
+		"flow", "sends", "rtx", "timeouts", "dupacks", "episodes", "done")
+	for _, f := range s.Flows {
+		done := "-"
+		if f.Done {
+			done = fmt.Sprintf("%.3fs", f.DoneAt)
+		}
+		fmt.Fprintf(&b, "%-5d %-6d %-5d %-9d %-8d %-9d %s\n",
+			f.Flow, f.Sends, f.Retransmits, f.Timeouts, f.DupAcks, len(f.Episodes), done)
+	}
+	b.WriteByte('\n')
+	any := false
+	for _, f := range s.Flows {
+		for i, ep := range f.Episodes {
+			if !any {
+				fmt.Fprintf(&b, "%-5s %-3s %-9s %-11s %-11s %-9s %-8s %s\n",
+					"flow", "ep", "enter", "retreat", "probe", "further", "exitcwnd", "end")
+				any = true
+			}
+			end := "open"
+			switch {
+			case ep.Timeout:
+				end = "timeout"
+			case ep.End >= 0:
+				end = "exit"
+			}
+			probe := "-"
+			if ep.ProbeAt >= 0 {
+				probe = fmt.Sprintf("%.3fs", ep.ProbeDur())
+			}
+			fmt.Fprintf(&b, "%-5d %-3d %-9s %-11s %-11s %-9d %-8.1f %s\n",
+				f.Flow, i+1, fmt.Sprintf("%.3fs", ep.Start),
+				fmt.Sprintf("%.3fs", ep.RetreatDur()), probe,
+				ep.FurtherLosses, ep.ExitCwnd, end)
+		}
+	}
+	if !any {
+		b.WriteString("no recovery episodes\n")
+	}
+	b.WriteByte('\n')
+	if len(s.Queues) == 0 {
+		b.WriteString("no drops recorded\n")
+	} else {
+		fmt.Fprintf(&b, "%-8s %-10s %-7s %s\n", "comp", "src", "drops", "forced")
+		for _, q := range s.Queues {
+			fmt.Fprintf(&b, "%-8s %-10s %-7d %d\n", q.Comp, q.Src, q.Drops, q.Forced)
+		}
+	}
+	return b.String()
+}
+
+// FilterOpts selects records; zero values mean "no constraint".
+type FilterOpts struct {
+	Flow     int32 // NoFlow matches everything (use FlowSet for flow 0 etc.)
+	FlowSet  bool
+	Comp     string
+	Kind     string
+	From, To float64 // To==0 means unbounded
+}
+
+// Filter returns the records matching every set constraint, in order.
+func Filter(records []Record, opts FilterOpts) []Record {
+	var out []Record
+	for _, r := range records {
+		if opts.FlowSet && r.Flow != opts.Flow {
+			continue
+		}
+		if opts.Comp != "" && r.Comp != opts.Comp {
+			continue
+		}
+		if opts.Kind != "" && r.Kind != opts.Kind {
+			continue
+		}
+		if r.T < opts.From {
+			continue
+		}
+		if opts.To > 0 && r.T > opts.To {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Timeline renders one flow's congestion state over time as ASCII:
+// '*' = cwnd samples, '+' = actnum samples, and a phase strip beneath
+// the plot ('r' retreat, 'p' probe, '.' open / outside recovery).
+func Timeline(records []Record, flow int32, width, height int) string {
+	if width < 8 {
+		width = 72
+	}
+	if height < 4 {
+		height = 16
+	}
+	type pt struct {
+		t, v float64
+		mark byte
+	}
+	var pts []pt
+	var minT, maxT, maxV float64
+	first := true
+	// Phase boundaries for the strip.
+	type flip struct {
+		t     float64
+		phase byte
+	}
+	var flips []flip
+	for _, r := range records {
+		if r.Flow != flow {
+			continue
+		}
+		switch r.Kind {
+		case KCwnd.String(), KRecoveryEnter.String(), KRecoveryExit.String():
+			pts = append(pts, pt{r.T, r.Attr("cwnd", 0), '*'})
+		case KActnum.String(), KRetreatProbe.String():
+			pts = append(pts, pt{r.T, r.Attr("actnum", 0), '+'})
+		default:
+			continue
+		}
+		switch r.Kind {
+		case KRecoveryEnter.String():
+			flips = append(flips, flip{r.T, 'r'})
+		case KRetreatProbe.String():
+			flips = append(flips, flip{r.T, 'p'})
+		case KRecoveryExit.String():
+			flips = append(flips, flip{r.T, '.'})
+		}
+		p := pts[len(pts)-1]
+		if first {
+			minT, maxT, maxV = p.t, p.t, p.v
+			first = false
+		}
+		if p.t < minT {
+			minT = p.t
+		}
+		if p.t > maxT {
+			maxT = p.t
+		}
+		if p.v > maxV {
+			maxV = p.v
+		}
+	}
+	if len(pts) == 0 {
+		return fmt.Sprintf("flow %d: no cwnd/actnum samples\n", flow)
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range pts {
+		x := int((p.t - minT) / (maxT - minT) * float64(width-1))
+		y := int(p.v / maxV * float64(height-1))
+		if y > height-1 {
+			y = height - 1
+		}
+		row := grid[height-1-y]
+		// actnum wins over cwnd when both land on a cell: the recovery
+		// control variable is the interesting one.
+		if row[x] != '+' {
+			row[x] = p.mark
+		}
+	}
+	strip := []byte(strings.Repeat(".", width))
+	phase := byte('.')
+	fi := 0
+	for x := 0; x < width; x++ {
+		t := minT + (maxT-minT)*float64(x)/float64(width-1)
+		for fi < len(flips) && flips[fi].t <= t {
+			phase = flips[fi].phase
+			fi++
+		}
+		strip[x] = phase
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow %d  cwnd(*)/actnum(+) 0..%.1f pkts  %.3fs..%.3fs\n", flow, maxV, minT, maxT)
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.Write(strip)
+	b.WriteString("\nphase: r=retreat p=probe .=open\n")
+	return b.String()
+}

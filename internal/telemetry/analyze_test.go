@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// rec builds a Record the way DecodeNDJSON would.
+func rec(t float64, comp Component, kind Kind, flow int32, attrs map[string]float64) Record {
+	if attrs == nil {
+		attrs = map[string]float64{}
+	}
+	return Record{T: t, Comp: comp.String(), Kind: kind.String(), Flow: flow, Attrs: attrs}
+}
+
+func TestSummarizeEpisode(t *testing.T) {
+	records := []Record{
+		rec(0.1, CompSender, KSend, 0, nil),
+		rec(1.0, CompRR, KRecoveryEnter, 0, map[string]float64{"cwnd": 13, "ssthresh": 6.5}),
+		rec(1.2, CompRR, KRetreatProbe, 0, map[string]float64{"actnum": 4}),
+		rec(1.3, CompRR, KFurtherLoss, 0, map[string]float64{"actnum": 4, "ndup": 2}),
+		rec(1.5, CompRR, KRecoveryExit, 0, map[string]float64{"cwnd": 5}),
+		rec(2.0, CompSender, KFlowDone, 0, nil),
+	}
+	sum := Summarize(records)
+	if len(sum.Flows) != 1 {
+		t.Fatalf("flows = %d, want 1", len(sum.Flows))
+	}
+	f := sum.Flows[0]
+	if !f.Done || f.DoneAt != 2.0 || f.Sends != 1 {
+		t.Fatalf("flow summary wrong: %+v", f)
+	}
+	if len(f.Episodes) != 1 {
+		t.Fatalf("episodes = %d, want 1", len(f.Episodes))
+	}
+	ep := f.Episodes[0]
+	if ep.Start != 1.0 || ep.ProbeAt != 1.2 || ep.End != 1.5 {
+		t.Fatalf("episode times wrong: %+v", ep)
+	}
+	if !almost(ep.RetreatDur(), 0.2) || !almost(ep.ProbeDur(), 0.3) {
+		t.Fatalf("durations retreat=%v probe=%v", ep.RetreatDur(), ep.ProbeDur())
+	}
+	if ep.ExitCwnd != 5 || ep.FurtherLosses != 1 || ep.Timeout {
+		t.Fatalf("episode detail wrong: %+v", ep)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestSummarizeTimeoutEndsEpisode(t *testing.T) {
+	records := []Record{
+		rec(1.0, CompRR, KRecoveryEnter, 0, nil),
+		rec(2.0, CompSender, KTimeout, 0, nil),
+	}
+	sum := Summarize(records)
+	ep := sum.Flows[0].Episodes[0]
+	if !ep.Timeout || ep.End != 2.0 {
+		t.Fatalf("timeout episode wrong: %+v", ep)
+	}
+}
+
+func TestSummarizeOpenEpisodeAtEOF(t *testing.T) {
+	sum := Summarize([]Record{rec(1.0, CompRR, KRecoveryEnter, 0, nil)})
+	ep := sum.Flows[0].Episodes[0]
+	if ep.End >= 0 || ep.Timeout {
+		t.Fatalf("open episode wrong: %+v", ep)
+	}
+	if !strings.Contains(sum.Render(), "open") {
+		t.Fatal("render does not mark open episode")
+	}
+}
+
+func TestSummarizeQueueDrops(t *testing.T) {
+	records := []Record{
+		{T: 1, Comp: "queue", Kind: "drop", Src: "fwd", Flow: 0, Attrs: map[string]float64{"forced": 1}},
+		{T: 2, Comp: "queue", Kind: "drop", Src: "fwd", Flow: 1, Attrs: map[string]float64{}},
+		{T: 3, Comp: "queue", Kind: "mark", Src: "fwd", Flow: 0, Attrs: map[string]float64{}},
+		{T: 4, Comp: "loss", Kind: "drop", Src: "inject", Flow: 0, Attrs: map[string]float64{}},
+	}
+	sum := Summarize(records)
+	if len(sum.Queues) != 2 {
+		t.Fatalf("queues = %d, want 2", len(sum.Queues))
+	}
+	// Sorted by comp then src: loss/inject before queue/fwd.
+	if sum.Queues[0].Comp != "loss" || sum.Queues[0].Drops != 1 {
+		t.Fatalf("loss row wrong: %+v", sum.Queues[0])
+	}
+	if q := sum.Queues[1]; q.Src != "fwd" || q.Drops != 3 || q.Forced != 1 {
+		t.Fatalf("queue row wrong: %+v", q)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	records := []Record{
+		rec(1, CompSender, KSend, 0, nil),
+		rec(2, CompSender, KSend, 1, nil),
+		rec(3, CompRR, KRecoveryEnter, 0, nil),
+		rec(4, CompQueue, KDrop, 0, nil),
+	}
+	if got := Filter(records, FilterOpts{Flow: 0, FlowSet: true}); len(got) != 3 {
+		t.Fatalf("flow filter: %d, want 3", len(got))
+	}
+	if got := Filter(records, FilterOpts{Comp: "rr"}); len(got) != 1 || got[0].Kind != "recovery-enter" {
+		t.Fatalf("comp filter wrong: %+v", got)
+	}
+	if got := Filter(records, FilterOpts{Kind: "send"}); len(got) != 2 {
+		t.Fatalf("kind filter: %d, want 2", len(got))
+	}
+	if got := Filter(records, FilterOpts{From: 2, To: 3}); len(got) != 2 {
+		t.Fatalf("time filter: %d, want 2", len(got))
+	}
+	if got := Filter(records, FilterOpts{}); len(got) != len(records) {
+		t.Fatal("empty opts filtered records")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	records := []Record{
+		rec(0, CompSender, KCwnd, 0, map[string]float64{"cwnd": 2}),
+		rec(1, CompRR, KRecoveryEnter, 0, map[string]float64{"cwnd": 10}),
+		rec(1.5, CompRR, KRetreatProbe, 0, map[string]float64{"actnum": 4}),
+		rec(2, CompRR, KRecoveryExit, 0, map[string]float64{"cwnd": 5}),
+	}
+	out := Timeline(records, 0, 40, 8)
+	for _, want := range []string{"flow 0", "*", "+", "r", "p"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Timeline(records, 9, 40, 8), "no cwnd/actnum samples") {
+		t.Fatal("empty flow not reported")
+	}
+}

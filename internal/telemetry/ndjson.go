@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// NDJSONSink streams events as newline-delimited JSON, one object per
+// line, suitable for tailing and for cmd/rrtrace. Encoding is hand
+// rolled (append-based, no reflection) so an enabled log costs little
+// beyond the I/O itself.
+//
+// Line shape:
+//
+//	{"t":1.234567890,"comp":"rr","kind":"actnum","flow":0,"seq":61000,"actnum":4,"ndup":3}
+//
+// "src" appears for instance-scoped components (queues, links, loss
+// modules); "flow" is omitted for events not tied to a connection; the
+// last one or two keys are the kind-specific attributes of Event.A/B.
+type NDJSONSink struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewNDJSONSink wraps w in a buffered NDJSON event writer. Call Close
+// (or Flush) before reading the output.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{w: bufio.NewWriterSize(w, 64<<10), buf: make([]byte, 0, 256)}
+}
+
+// Emit implements Sink.
+func (n *NDJSONSink) Emit(ev Event) {
+	if n.err != nil {
+		return
+	}
+	b := n.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, ev.At.Seconds(), 'f', 9, 64)
+	b = append(b, `,"comp":"`...)
+	b = append(b, ev.Comp.String()...)
+	b = append(b, `","kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Src != "" {
+		b = append(b, `,"src":`...)
+		b = appendJSONString(b, ev.Src)
+	}
+	if ev.Flow != NoFlow {
+		b = append(b, `,"flow":`...)
+		b = strconv.AppendInt(b, int64(ev.Flow), 10)
+	}
+	if ev.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendInt(b, ev.Seq, 10)
+	}
+	aName, bName := ev.Kind.attrNames()
+	if aName != "" {
+		b = append(b, ',', '"')
+		b = append(b, aName...)
+		b = append(b, `":`...)
+		b = appendJSONFloat(b, ev.A)
+	}
+	if bName != "" {
+		b = append(b, ',', '"')
+		b = append(b, bName...)
+		b = append(b, `":`...)
+		b = appendJSONFloat(b, ev.B)
+	}
+	b = append(b, '}', '\n')
+	n.buf = b
+	if _, err := n.w.Write(b); err != nil {
+		n.err = err
+	}
+}
+
+// appendJSONString appends s as a JSON string; instance names are plain
+// ASCII identifiers, so the fast path just quotes, falling back to
+// encoding/json for anything that needs escaping.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x7f {
+			enc, _ := json.Marshal(s)
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// appendJSONFloat writes integral values without a decimal point (the
+// common case: occupancies, counts) and everything else compactly.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if v == float64(int64(v)) {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (n *NDJSONSink) Flush() error {
+	if n.err != nil {
+		return n.err
+	}
+	return n.w.Flush()
+}
+
+// Close flushes; the underlying writer's lifetime belongs to the caller.
+func (n *NDJSONSink) Close() error { return n.Flush() }
+
+// Err returns the first write error encountered, if any.
+func (n *NDJSONSink) Err() error { return n.err }
+
+// Record is one decoded NDJSON line — the read-side counterpart of
+// Event, with the kind-specific attributes restored into a map. It is
+// what cmd/rrtrace operates on.
+type Record struct {
+	T     float64            // sim-time in seconds
+	Comp  string             // component name
+	Kind  string             // event kind name
+	Src   string             // instance label, if any
+	Flow  int32              // NoFlow when absent
+	Seq   int64              //
+	Attrs map[string]float64 // kind-specific attributes ("cwnd", "actnum", ...)
+}
+
+// Attr returns a named attribute, or def when absent.
+func (r Record) Attr(name string, def float64) float64 {
+	if v, ok := r.Attrs[name]; ok {
+		return v
+	}
+	return def
+}
+
+// MarshalJSON reproduces the NDJSONSink line shape, so filtered records
+// re-emitted by rrtrace remain valid input for DecodeNDJSON.
+func (r Record) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 128)
+	b = append(b, `{"t":`...)
+	b = strconv.AppendFloat(b, r.T, 'f', 9, 64)
+	b = append(b, `,"comp":`...)
+	b = appendJSONString(b, r.Comp)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, r.Kind)
+	if r.Src != "" {
+		b = append(b, `,"src":`...)
+		b = appendJSONString(b, r.Src)
+	}
+	if r.Flow != NoFlow {
+		b = append(b, `,"flow":`...)
+		b = strconv.AppendInt(b, int64(r.Flow), 10)
+	}
+	if r.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendInt(b, r.Seq, 10)
+	}
+	names := make([]string, 0, len(r.Attrs))
+	for k := range r.Attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		b = append(b, ',')
+		b = appendJSONString(b, k)
+		b = append(b, ':')
+		b = appendJSONFloat(b, r.Attrs[k])
+	}
+	return append(b, '}'), nil
+}
+
+// DecodeNDJSON parses an event log produced by NDJSONSink. Blank lines
+// are skipped; a malformed line aborts with its line number.
+func DecodeNDJSON(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var raw map[string]any
+		if err := json.Unmarshal(line, &raw); err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		rec := Record{Flow: NoFlow, Attrs: map[string]float64{}}
+		for k, v := range raw {
+			switch k {
+			case "t":
+				rec.T, _ = v.(float64)
+			case "comp":
+				rec.Comp, _ = v.(string)
+			case "kind":
+				rec.Kind, _ = v.(string)
+			case "src":
+				rec.Src, _ = v.(string)
+			case "flow":
+				if f, ok := v.(float64); ok {
+					rec.Flow = int32(f)
+				}
+			case "seq":
+				if f, ok := v.(float64); ok {
+					rec.Seq = int64(f)
+				}
+			default:
+				if f, ok := v.(float64); ok {
+					rec.Attrs[k] = f
+				}
+			}
+		}
+		if rec.Kind == "" {
+			return nil, fmt.Errorf("telemetry: line %d: missing \"kind\"", lineNo)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: read: %w", err)
+	}
+	return out, nil
+}

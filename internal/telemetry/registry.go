@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rrtcp/internal/stats"
+)
+
+// Registry is a flat, name-keyed metrics store: counters, gauges, and
+// histograms. Names are dotted paths keyed by component and instance,
+// e.g. "queue.fwd.drops", "sender.0.retransmits", "link.fwd.tx_bytes".
+// Everything runs on the single simulation goroutine, so there is no
+// locking; Snapshot produces a deterministic (sorted) view.
+type Registry struct {
+	counters map[string]uint64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta uint64) { r.counters[name] += delta }
+
+// Counter returns the named counter's value.
+func (r *Registry) Counter(name string) uint64 { return r.counters[name] }
+
+// SetGauge records the latest value of a quantity.
+func (r *Registry) SetGauge(name string, v float64) { r.gauges[name] = v }
+
+// Gauge returns the named gauge's latest value.
+func (r *Registry) Gauge(name string) float64 { return r.gauges[name] }
+
+// Observe appends a sample to the named histogram, creating it on
+// first use.
+func (r *Registry) Observe(name string, v float64) {
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	h.Observe(v)
+}
+
+// Hist returns the named histogram, or nil.
+func (r *Registry) Hist(name string) *Histogram { return r.hists[name] }
+
+// Histogram retains raw samples and summarizes them through
+// internal/stats (mean, percentiles). Event volumes here are bounded
+// by run length, so exact percentiles are affordable; a sketch can
+// replace the sample slice if that changes.
+type Histogram struct {
+	samples []float64
+}
+
+// Observe appends one sample.
+func (h *Histogram) Observe(v float64) { h.samples = append(h.samples, v) }
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 { return stats.Mean(h.samples) }
+
+// Quantile returns the p-th percentile (0..100) of the samples.
+func (h *Histogram) Quantile(p float64) float64 { return stats.Percentile(h.samples, p) }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return stats.Max(h.samples) }
+
+// Snapshot renders every metric, sorted by name, as "name value" lines
+// — a deterministic dump for tests and the rrsim -metrics flag.
+func (r *Registry) Snapshot() string {
+	var names []string
+	for n := range r.counters {
+		names = append(names, "c "+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "g "+n)
+	}
+	for n := range r.hists {
+		names = append(names, "h "+n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, tagged := range names {
+		kind, name := tagged[:1], tagged[2:]
+		switch kind {
+		case "c":
+			fmt.Fprintf(&b, "%-40s %d\n", name, r.counters[name])
+		case "g":
+			fmt.Fprintf(&b, "%-40s %g\n", name, r.gauges[name])
+		case "h":
+			h := r.hists[name]
+			fmt.Fprintf(&b, "%-40s n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n",
+				name, h.Count(), h.Mean(), h.Quantile(50), h.Quantile(99), h.Max())
+		}
+	}
+	return b.String()
+}
+
+// MetricsSink aggregates the event stream into a Registry — the
+// bus-native way to get per-queue drop/occupancy, per-link utilization,
+// and per-sender recovery counters without touching the publishers.
+type MetricsSink struct {
+	R *Registry
+}
+
+// NewMetricsSink returns a sink feeding a fresh registry.
+func NewMetricsSink() *MetricsSink { return &MetricsSink{R: NewRegistry()} }
+
+// Emit implements Sink.
+func (m *MetricsSink) Emit(ev Event) {
+	switch ev.Kind {
+	case KSend:
+		m.R.Inc(flowKey("sender", ev.Flow, "data_sent"), 1)
+	case KRetransmit:
+		m.R.Inc(flowKey("sender", ev.Flow, "retransmits"), 1)
+	case KTimeout:
+		m.R.Inc(flowKey("sender", ev.Flow, "timeouts"), 1)
+	case KRecoveryEnter:
+		m.R.Inc(flowKey("sender", ev.Flow, "fast_retransmits"), 1)
+	case KFurtherLoss:
+		m.R.Inc(flowKey("sender", ev.Flow, "further_losses"), 1)
+	case KCwnd:
+		m.R.SetGauge(flowKey("sender", ev.Flow, "cwnd"), ev.A)
+	case KEnqueue:
+		m.R.Inc(srcKey("queue", ev.Src, "enqueued"), 1)
+		m.R.SetGauge(srcKey("queue", ev.Src, "occupancy"), ev.A)
+		m.R.Observe(srcKey("queue", ev.Src, "occupancy_hist"), ev.A)
+	case KDrop:
+		m.R.Inc(srcKey(ev.Comp.String(), ev.Src, "drops"), 1)
+	case KMark:
+		m.R.Inc(srcKey("queue", ev.Src, "early_drops"), 1)
+	case KLinkTx:
+		m.R.Inc(srcKey("link", ev.Src, "tx_packets"), 1)
+		m.R.Inc(srcKey("link", ev.Src, "tx_bytes"), uint64(ev.A))
+	case KSchedProfile:
+		m.R.SetGauge("sim.events_processed", float64(ev.Seq))
+		m.R.SetGauge("sim.heap_depth", ev.A)
+		m.R.Observe("sim.heap_depth_hist", ev.A)
+		if ev.B > 0 {
+			m.R.SetGauge("sim.wall_per_sim_s", ev.B)
+		}
+	}
+}
+
+func flowKey(comp string, flow int32, metric string) string {
+	return fmt.Sprintf("%s.%d.%s", comp, flow, metric)
+}
+
+func srcKey(comp, src, metric string) string {
+	if src == "" {
+		src = "?"
+	}
+	return comp + "." + src + "." + metric
+}

@@ -1,0 +1,313 @@
+// Package telemetry is the structured observability layer of the
+// simulator: a lightweight event bus that the scheduler, the network
+// substrate, the TCP senders, and the RR state machine publish typed
+// events into, plus the sinks that consume them (NDJSON log writer,
+// in-memory ring for tests, metrics aggregation).
+//
+// The paper's central claims — actnum tracks data in flight more
+// accurately than cwnd, back-off happens only in the retreat sub-phase,
+// further losses are detected by comparing ndup to actnum — are claims
+// about internal state evolution over time; this package makes that
+// evolution observable without each experiment growing its own ad-hoc
+// sampler.
+//
+// Design notes:
+//
+//   - Event is a small value type with fixed slots (two numeric
+//     attributes named per kind); publishing allocates nothing.
+//   - A nil *Bus, and a Bus with no subscribers, are both valid and
+//     publish nothing, so instrumented hot paths cost a nil check when
+//     telemetry is off (the "null sink" default).
+//   - All publishing happens on the single simulation goroutine; sinks
+//     need no locking.
+package telemetry
+
+import "rrtcp/internal/sim"
+
+// Component identifies the layer an event originates from.
+type Component uint8
+
+// Components, one per instrumented layer.
+const (
+	CompSim    Component = iota + 1 // the discrete-event scheduler
+	CompLink                        // a netem link
+	CompQueue                       // a netem queue discipline
+	CompLoss                        // a netem loss injector
+	CompSender                      // the shared TCP sender path
+	CompRecv                        // the TCP receiver
+	CompRR                          // the Robust Recovery state machine
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case CompSim:
+		return "sim"
+	case CompLink:
+		return "link"
+	case CompQueue:
+		return "queue"
+	case CompLoss:
+		return "loss"
+	case CompSender:
+		return "sender"
+	case CompRecv:
+		return "recv"
+	case CompRR:
+		return "rr"
+	default:
+		return "?"
+	}
+}
+
+// ParseComponent is the inverse of Component.String; unknown names
+// return 0.
+func ParseComponent(s string) Component {
+	for c := CompSim; c <= CompRR; c++ {
+		if c.String() == s {
+			return c
+		}
+	}
+	return 0
+}
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Sender-path events.
+	KSend       Kind = iota + 1 // data segment first transmission
+	KRetransmit                 // data segment retransmission
+	KAck                        // cumulative ACK processed at the sender
+	KDupAck                     // duplicate ACK processed
+	KTimeout                    // retransmission timer expired
+	KCwnd                       // congestion-window sample (A=cwnd)
+	KFlowDone                   // application transfer completed
+	KDeliver                    // in-order data delivered at the receiver
+
+	// Recovery phase transitions (RR and the baseline variants).
+	KRecoveryEnter // entered loss recovery; RR: begin retreat (A=cwnd, B=ssthresh)
+	KRetreatProbe  // RR retreat→probe transition (A=actnum)
+	KRecoveryExit  // left recovery (A=cwnd; RR: cwnd = actnum×MSS)
+	KFurtherLoss   // RR detected further loss via ndup<actnum (A=actnum, B=ndup)
+	KActnum        // RR actnum/ndup update at an RTT boundary (A=actnum, B=ndup)
+
+	// Network-substrate events.
+	KEnqueue // packet accepted by a queue (A=occupancy after)
+	KDrop    // packet dropped by a queue or loss module (A=occupancy, B=1 forced)
+	KMark    // packet probabilistically dropped/marked by RED (A=occupancy, B=avg)
+	KLinkTx  // link began serializing a packet (A=bytes, B=occupancy left behind)
+
+	// Scheduler profiling.
+	KSchedProfile // Seq=events processed, A=heap depth, B=wall-sec per sim-sec
+
+	kindSentinel // keep last
+)
+
+// String implements fmt.Stringer; the names are the NDJSON vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case KSend:
+		return "send"
+	case KRetransmit:
+		return "rtx"
+	case KAck:
+		return "ack"
+	case KDupAck:
+		return "dupack"
+	case KTimeout:
+		return "timeout"
+	case KCwnd:
+		return "cwnd"
+	case KFlowDone:
+		return "done"
+	case KDeliver:
+		return "deliver"
+	case KRecoveryEnter:
+		return "recovery-enter"
+	case KRetreatProbe:
+		return "retreat-probe"
+	case KRecoveryExit:
+		return "recovery-exit"
+	case KFurtherLoss:
+		return "further-loss"
+	case KActnum:
+		return "actnum"
+	case KEnqueue:
+		return "enqueue"
+	case KDrop:
+		return "drop"
+	case KMark:
+		return "mark"
+	case KLinkTx:
+		return "link-tx"
+	case KSchedProfile:
+		return "sched"
+	default:
+		return "?"
+	}
+}
+
+// ParseKind is the inverse of Kind.String; unknown names return 0.
+func ParseKind(s string) Kind {
+	for k := KSend; k < kindSentinel; k++ {
+		if k.String() == s {
+			return k
+		}
+	}
+	return 0
+}
+
+// attrNames maps each kind's A and B slots to the NDJSON keys they are
+// written under. Empty means the slot is unused for that kind.
+func (k Kind) attrNames() (a, b string) {
+	switch k {
+	case KCwnd:
+		return "cwnd", ""
+	case KRecoveryEnter:
+		return "cwnd", "ssthresh"
+	case KRetreatProbe:
+		return "actnum", ""
+	case KRecoveryExit:
+		return "cwnd", ""
+	case KFurtherLoss, KActnum:
+		return "actnum", "ndup"
+	case KEnqueue:
+		return "qlen", ""
+	case KDrop:
+		return "qlen", "forced"
+	case KMark:
+		return "qlen", "avg"
+	case KLinkTx:
+		return "bytes", "qlen"
+	case KSchedProfile:
+		return "pending", "wall_per_sim_s"
+	default:
+		return "", ""
+	}
+}
+
+// NoFlow marks events not scoped to a TCP connection (queues, links,
+// the scheduler).
+const NoFlow int32 = -1
+
+// Event is one telemetry record. It is a plain value: publishing one
+// performs no allocation, and sinks that retain events copy them.
+type Event struct {
+	// At is the simulated instant of the event.
+	At sim.Time
+	// Comp is the emitting layer; Src distinguishes instances within it
+	// (queue and link names like "fwd", "rev").
+	Comp Component
+	Kind Kind
+	Src  string
+	// Flow is the TCP connection the event belongs to, or NoFlow.
+	Flow int32
+	// Seq is the byte sequence number involved, when meaningful.
+	Seq int64
+	// A and B carry kind-specific numeric attributes; see attrNames.
+	A, B float64
+}
+
+// Sink consumes published events. Emit runs on the simulation
+// goroutine and must not retain pointers into the event (it is a value,
+// so copying it is safe and implicit).
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Bus fans events out to its subscribers. A nil *Bus is valid and
+// publishes nothing, which is the default "null" configuration — the
+// instrumented hot paths then cost one nil check per event site.
+type Bus struct {
+	sinks []Sink
+}
+
+// NewBus returns a bus with the given initial subscribers.
+func NewBus(sinks ...Sink) *Bus {
+	b := &Bus{}
+	for _, s := range sinks {
+		b.Subscribe(s)
+	}
+	return b
+}
+
+// Subscribe adds a sink; nil sinks are ignored.
+func (b *Bus) Subscribe(s Sink) {
+	if b == nil || s == nil {
+		return
+	}
+	b.sinks = append(b.sinks, s)
+}
+
+// Enabled reports whether publishing reaches any sink; hot paths can
+// use it to skip building expensive events.
+func (b *Bus) Enabled() bool { return b != nil && len(b.sinks) > 0 }
+
+// Publish delivers ev to every subscriber, in subscription order.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.sinks {
+		s.Emit(ev)
+	}
+}
+
+// NullSink discards everything — the explicit form of the default.
+type NullSink struct{}
+
+// Emit implements Sink.
+func (NullSink) Emit(Event) {}
+
+// Ring retains the last Cap events in memory; with Cap <= 0 it retains
+// everything. It is the sink tests and in-process inspection use.
+type Ring struct {
+	// Cap bounds retention; zero or negative means unbounded.
+	Cap int
+
+	evs   []Event
+	start int // ring head when wrapped
+	total uint64
+}
+
+// NewRing returns a ring retaining at most cap events (<=0: unbounded).
+func NewRing(cap int) *Ring { return &Ring{Cap: cap} }
+
+// Emit implements Sink.
+func (r *Ring) Emit(ev Event) {
+	r.total++
+	if r.Cap <= 0 {
+		r.evs = append(r.evs, ev)
+		return
+	}
+	if len(r.evs) < r.Cap {
+		r.evs = append(r.evs, ev)
+		return
+	}
+	r.evs[r.start] = ev
+	r.start = (r.start + 1) % r.Cap
+}
+
+// Total reports how many events were published, including evicted ones.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Events returns the retained events in publication order.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, len(r.evs))
+	out = append(out, r.evs[r.start:]...)
+	out = append(out, r.evs[:r.start]...)
+	return out
+}
+
+// EventsOf returns the retained events matching the kind, in order.
+func (r *Ring) EventsOf(kind Kind) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

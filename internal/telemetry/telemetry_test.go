@@ -1,0 +1,255 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	if b.Enabled() {
+		t.Fatal("nil bus claims to be enabled")
+	}
+	b.Publish(Event{Kind: KSend}) // must not panic
+	b.Subscribe(NullSink{})       // must not panic
+}
+
+func TestEmptyBusDisabled(t *testing.T) {
+	b := NewBus()
+	if b.Enabled() {
+		t.Fatal("empty bus claims to be enabled")
+	}
+	b.Subscribe(nil)
+	if b.Enabled() {
+		t.Fatal("nil sink counted as a subscriber")
+	}
+	b.Subscribe(NullSink{})
+	if !b.Enabled() {
+		t.Fatal("bus with a sink reports disabled")
+	}
+}
+
+func TestBusFanOut(t *testing.T) {
+	r1, r2 := NewRing(0), NewRing(0)
+	b := NewBus(r1, r2)
+	b.Publish(Event{Kind: KSend, Flow: 3})
+	if r1.Total() != 1 || r2.Total() != 1 {
+		t.Fatalf("fan-out totals %d/%d, want 1/1", r1.Total(), r2.Total())
+	}
+	if got := r1.Events()[0].Flow; got != 3 {
+		t.Fatalf("event flow %d, want 3", got)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: KSend, Seq: int64(i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total %d, want 5", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, want := range []int64{2, 3, 4} {
+		if evs[i].Seq != want {
+			t.Fatalf("evs[%d].Seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+}
+
+func TestRingEventsOf(t *testing.T) {
+	r := NewRing(0)
+	r.Emit(Event{Kind: KSend})
+	r.Emit(Event{Kind: KDrop})
+	r.Emit(Event{Kind: KSend})
+	if got := len(r.EventsOf(KSend)); got != 2 {
+		t.Fatalf("EventsOf(KSend) = %d, want 2", got)
+	}
+	if got := len(r.EventsOf(KTimeout)); got != 0 {
+		t.Fatalf("EventsOf(KTimeout) = %d, want 0", got)
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := KSend; k < kindSentinel; k++ {
+		name := k.String()
+		if name == "?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if got := ParseKind(name); got != k {
+			t.Fatalf("ParseKind(%q) = %v, want %v", name, got, k)
+		}
+	}
+	if ParseKind("bogus") != 0 {
+		t.Fatal("bogus kind parsed")
+	}
+}
+
+func TestComponentNamesRoundTrip(t *testing.T) {
+	for c := CompSim; c <= CompRR; c++ {
+		name := c.String()
+		if name == "?" {
+			t.Fatalf("component %d has no name", c)
+		}
+		if got := ParseComponent(name); got != c {
+			t.Fatalf("ParseComponent(%q) = %v, want %v", name, got, c)
+		}
+	}
+	if ParseComponent("bogus") != 0 {
+		t.Fatal("bogus component parsed")
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	events := []Event{
+		{At: 1500 * time.Millisecond, Comp: CompRR, Kind: KRecoveryEnter, Flow: 0, Seq: 60000, A: 13.6, B: 6.5},
+		{At: 2 * time.Second, Comp: CompQueue, Kind: KDrop, Src: "fwd", Flow: 1, Seq: 1000, A: 8, B: 1},
+		{At: 3 * time.Second, Comp: CompSim, Kind: KSchedProfile, Flow: NoFlow, Seq: 4096, A: 12, B: 0.001},
+	}
+	for _, ev := range events {
+		sink.Emit(ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Every line must be valid JSON on its own.
+	for i, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i+1, err, line)
+		}
+	}
+
+	recs, err := DecodeNDJSON(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(recs) != len(events) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(events))
+	}
+	r := recs[0]
+	if r.T != 1.5 || r.Comp != "rr" || r.Kind != "recovery-enter" || r.Flow != 0 || r.Seq != 60000 {
+		t.Fatalf("record 0 fields wrong: %+v", r)
+	}
+	if r.Attr("cwnd", 0) != 13.6 || r.Attr("ssthresh", 0) != 6.5 {
+		t.Fatalf("record 0 attrs wrong: %v", r.Attrs)
+	}
+	if r.Attr("missing", 42) != 42 {
+		t.Fatal("Attr default not returned")
+	}
+	if recs[1].Src != "fwd" || recs[1].Attr("forced", 0) != 1 {
+		t.Fatalf("record 1 wrong: %+v", recs[1])
+	}
+	if recs[2].Flow != NoFlow {
+		t.Fatalf("flowless event decoded with flow %d", recs[2].Flow)
+	}
+}
+
+func TestRecordMarshalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	sink.Emit(Event{At: time.Second, Comp: CompRR, Kind: KActnum, Flow: 0, Seq: 61000, A: 4, B: 3})
+	sink.Close()
+	orig := buf.String()
+
+	recs, err := DecodeNDJSON(strings.NewReader(orig))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	out, err := json.Marshal(recs[0])
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	again, err := DecodeNDJSON(bytes.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if len(again) != 1 || again[0].Kind != "actnum" || again[0].Attr("actnum", 0) != 4 || again[0].Attr("ndup", 0) != 3 {
+		t.Fatalf("round trip lost data: %+v", again)
+	}
+}
+
+func TestDecodeNDJSONRejectsGarbage(t *testing.T) {
+	if _, err := DecodeNDJSON(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeNDJSON(strings.NewReader(`{"t":1}` + "\n")); err == nil {
+		t.Fatal("kind-less record accepted")
+	}
+	recs, err := DecodeNDJSON(strings.NewReader("\n\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("blank input: recs=%d err=%v", len(recs), err)
+	}
+}
+
+func TestRegistryCountersGaugesHists(t *testing.T) {
+	r := NewRegistry()
+	r.Inc("a.count", 2)
+	r.Inc("a.count", 3)
+	if r.Counter("a.count") != 5 {
+		t.Fatalf("counter = %d", r.Counter("a.count"))
+	}
+	r.SetGauge("g", 7.5)
+	if r.Gauge("g") != 7.5 {
+		t.Fatalf("gauge = %v", r.Gauge("g"))
+	}
+	r.Observe("h", 1)
+	r.Observe("h", 3)
+	h := r.Hist("h")
+	if h == nil || h.Count() != 2 || h.Mean() != 2 || h.Max() != 3 {
+		t.Fatalf("hist wrong: %+v", h)
+	}
+	snap := r.Snapshot()
+	for _, want := range []string{"a.count", "g", "h"} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	if snap != r.Snapshot() {
+		t.Fatal("snapshot not deterministic")
+	}
+}
+
+func TestMetricsSinkAggregates(t *testing.T) {
+	ms := NewMetricsSink()
+	bus := NewBus(ms)
+	bus.Publish(Event{Comp: CompSender, Kind: KSend, Flow: 0})
+	bus.Publish(Event{Comp: CompSender, Kind: KRetransmit, Flow: 0})
+	bus.Publish(Event{Comp: CompSender, Kind: KTimeout, Flow: 0})
+	bus.Publish(Event{Comp: CompSender, Kind: KRecoveryEnter, Flow: 0})
+	bus.Publish(Event{Comp: CompQueue, Kind: KEnqueue, Src: "fwd", Flow: 0, A: 3})
+	bus.Publish(Event{Comp: CompQueue, Kind: KDrop, Src: "fwd", Flow: 0, A: 8, B: 1})
+	bus.Publish(Event{Comp: CompLoss, Kind: KDrop, Src: "inject", Flow: 0})
+	bus.Publish(Event{Comp: CompLink, Kind: KLinkTx, Src: "fwd", Flow: 0, A: 1000})
+
+	checks := map[string]uint64{
+		"sender.0.data_sent":        1,
+		"sender.0.retransmits":      1,
+		"sender.0.timeouts":         1,
+		"sender.0.fast_retransmits": 1,
+		"queue.fwd.enqueued":        1,
+		"queue.fwd.drops":           1,
+		"loss.inject.drops":         1,
+		"link.fwd.tx_packets":       1,
+	}
+	for name, want := range checks {
+		if got := ms.R.Counter(name); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := ms.R.Counter("link.fwd.tx_bytes"); got != 1000 {
+		t.Fatalf("tx_bytes = %d, want 1000", got)
+	}
+	if got := ms.R.Gauge("queue.fwd.occupancy"); got != 3 {
+		t.Fatalf("occupancy gauge = %v, want 3", got)
+	}
+}

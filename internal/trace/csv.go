@@ -9,14 +9,20 @@ import (
 
 // WriteCSV streams the trace's samples as CSV with the header
 // time_s,event,seq,value — the raw material for external analysis of a
-// run (spreadsheets, pandas, gnuplot).
+// run (spreadsheets, pandas, gnuplot). The header row is emitted even
+// for a nil receiver or an empty trace, so downstream parsers always
+// see a well-formed (if empty) file.
 func (t *FlowTrace) WriteCSV(w io.Writer) error {
-	if t == nil {
-		return nil
-	}
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"time_s", "event", "seq", "value"}); err != nil {
 		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	if t == nil {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return fmt.Errorf("trace: csv flush: %w", err)
+		}
+		return nil
 	}
 	for _, s := range t.samples {
 		rec := []string{

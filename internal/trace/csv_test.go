@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rrtcp/internal/telemetry"
+)
+
+const csvHeader = "time_s,event,seq,value\n"
+
+func TestWriteCSVNilReceiver(t *testing.T) {
+	var tr *FlowTrace
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatalf("nil receiver: %v", err)
+	}
+	if b.String() != csvHeader {
+		t.Fatalf("nil receiver output %q, want header only", b.String())
+	}
+}
+
+func TestWriteCSVEmptyTrace(t *testing.T) {
+	tr := New(0, "rr")
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatalf("empty trace: %v", err)
+	}
+	if b.String() != csvHeader {
+		t.Fatalf("empty trace output %q, want header only", b.String())
+	}
+}
+
+func TestWriteCSVRows(t *testing.T) {
+	tr := New(0, "rr")
+	tr.Add(time.Second, EvSend, 1000, 0)
+	tr.Add(2*time.Second, EvCwnd, 2000, 8.5)
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3:\n%s", len(lines), b.String())
+	}
+	if lines[0] != strings.TrimSuffix(csvHeader, "\n") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1.000000,send,1000,0.000" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2.000000,cwnd,2000,8.500" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+func TestOnEventMapsTelemetryKinds(t *testing.T) {
+	tr := New(0, "rr")
+	tr.OnEvent(telemetry.Event{At: time.Second, Kind: telemetry.KCwnd, Seq: 1000, A: 7})
+	tr.OnEvent(telemetry.Event{At: 2 * time.Second, Kind: telemetry.KRecoveryEnter, Seq: 2000, A: 13, B: 6.5})
+	tr.OnEvent(telemetry.Event{At: 3 * time.Second, Kind: telemetry.KFurtherLoss, Seq: 3000, A: 4, B: 1})
+	tr.OnEvent(telemetry.Event{At: 4 * time.Second, Kind: telemetry.KRecoveryExit, Seq: 4000, A: 5})
+
+	checks := []struct {
+		kind  EventKind
+		value float64
+	}{
+		{EvCwnd, 7},
+		{EvRecovery, 13},
+		{EvFurther, 3}, // actnum − ndup
+		{EvExit, 5},
+	}
+	for _, c := range checks {
+		ss := tr.SamplesOf(c.kind)
+		if len(ss) != 1 {
+			t.Fatalf("%v samples = %d, want 1", c.kind, len(ss))
+		}
+		if ss[0].Value != c.value {
+			t.Fatalf("%v value = %v, want %v", c.kind, ss[0].Value, c.value)
+		}
+	}
+	// KActnum is deliberately not mapped: the legacy sample shape
+	// predates per-RTT actnum telemetry.
+	tr.OnEvent(telemetry.Event{At: 5 * time.Second, Kind: telemetry.KActnum, A: 4})
+	if n := len(tr.Samples()); n != 4 {
+		t.Fatalf("samples = %d, want 4 (actnum must not add one)", n)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
 )
 
 // EventKind classifies a trace sample.
@@ -128,6 +129,49 @@ func (t *FlowTrace) Add(at sim.Time, kind EventKind, seq int64, value float64) {
 	case EvFlowDone:
 		t.finished = true
 		t.doneAt = at
+	}
+}
+
+// Emit implements telemetry.Sink, making FlowTrace a subscriber of the
+// event bus rather than a parallel recording mechanism: the endpoints
+// publish unified telemetry events, and the trace maps the flow-scoped
+// ones onto its legacy sample kinds and counters. Events with no trace
+// equivalent (actnum updates, substrate events) are ignored, so the
+// per-flow sample series keeps its pre-telemetry shape.
+func (t *FlowTrace) Emit(ev telemetry.Event) { t.OnEvent(ev) }
+
+var _ telemetry.Sink = (*FlowTrace)(nil)
+
+// OnEvent is the typed form of Emit; a nil receiver records nothing.
+func (t *FlowTrace) OnEvent(ev telemetry.Event) {
+	if t == nil {
+		return
+	}
+	switch ev.Kind {
+	case telemetry.KSend:
+		t.Add(ev.At, EvSend, ev.Seq, 0)
+	case telemetry.KRetransmit:
+		t.Add(ev.At, EvRetransmit, ev.Seq, 0)
+	case telemetry.KAck:
+		t.Add(ev.At, EvAckRecv, ev.Seq, 0)
+	case telemetry.KDupAck:
+		t.Add(ev.At, EvDupAck, ev.Seq, 0)
+	case telemetry.KTimeout:
+		t.Add(ev.At, EvTimeout, ev.Seq, 0)
+	case telemetry.KCwnd:
+		t.Add(ev.At, EvCwnd, ev.Seq, ev.A)
+	case telemetry.KFlowDone:
+		t.Add(ev.At, EvFlowDone, ev.Seq, 0)
+	case telemetry.KDeliver:
+		t.Add(ev.At, EvDeliver, ev.Seq, 0)
+	case telemetry.KRecoveryEnter:
+		t.Add(ev.At, EvRecovery, ev.Seq, ev.A)
+	case telemetry.KRecoveryExit:
+		t.Add(ev.At, EvExit, ev.Seq, ev.A)
+	case telemetry.KFurtherLoss:
+		t.Add(ev.At, EvFurther, ev.Seq, ev.A-ev.B)
+	case telemetry.KRetreatProbe:
+		t.Add(ev.At, EvPhaseFlip, ev.Seq, ev.A)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/tcp"
+	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
 )
 
@@ -132,6 +133,9 @@ type FlowSpec struct {
 	SmoothStart bool
 	// RROptions, for Kind == RR, applies ablation knobs.
 	RROptions *core.Options
+	// Telemetry, when non-nil, receives the flow's structured events
+	// (sender, receiver, and recovery state machine).
+	Telemetry *telemetry.Bus
 	// OnDone runs when the transfer completes.
 	OnDone func()
 }
@@ -187,6 +191,7 @@ func Install(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowSpec) (*
 	recv := tcp.NewReceiver(sched, idx, d.ReceiverPort(idx), tr)
 	recv.SACKEnabled = spec.Kind.NeedsSACKReceiver()
 	recv.DelayedAck = spec.DelayedAck
+	recv.Telemetry = spec.Telemetry
 	snd, err := tcp.New(sched, d.SenderPort(idx), strat, tcp.Config{
 		Flow:            idx,
 		MSS:             spec.MSS,
@@ -195,6 +200,7 @@ func Install(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowSpec) (*
 		TotalBytes:      spec.Bytes,
 		SmoothStart:     spec.SmoothStart,
 		Trace:           tr,
+		Telemetry:       spec.Telemetry,
 		OnDone:          spec.OnDone,
 	})
 	if err != nil {
@@ -226,6 +232,7 @@ func InstallReverse(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowS
 	recv := tcp.NewReceiver(sched, idx, d.SenderPort(idx), tr)
 	recv.SACKEnabled = spec.Kind.NeedsSACKReceiver()
 	recv.DelayedAck = spec.DelayedAck
+	recv.Telemetry = spec.Telemetry
 	// The sender lives at the K side: its data enters via ReceiverPort.
 	snd, err := tcp.New(sched, d.ReceiverPort(idx), strat, tcp.Config{
 		Flow:            idx,
@@ -235,6 +242,7 @@ func InstallReverse(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowS
 		TotalBytes:      spec.Bytes,
 		SmoothStart:     spec.SmoothStart,
 		Trace:           tr,
+		Telemetry:       spec.Telemetry,
 		OnDone:          spec.OnDone,
 	})
 	if err != nil {

@@ -29,6 +29,7 @@ import (
 	"rrtcp/internal/scenario"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/tcp"
+	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
 	"rrtcp/internal/workload"
 )
@@ -198,6 +199,42 @@ func InstallFlows(s *Scheduler, d *Dumbbell, specs []FlowSpec) ([]*Flow, error) 
 func InstallReverseFlow(s *Scheduler, d *Dumbbell, idx int, spec FlowSpec) (*Flow, error) {
 	return workload.InstallReverse(s, d, idx, spec)
 }
+
+// --- telemetry (structured events, metrics, sinks) ---
+
+type (
+	// TelemetryBus fans structured simulation events out to sinks. A nil
+	// bus is valid and publishes nothing (the default null sink).
+	TelemetryBus = telemetry.Bus
+	// TelemetryEvent is one structured simulation event.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySink consumes published events.
+	TelemetrySink = telemetry.Sink
+	// TelemetryRing is a bounded in-memory sink, handy in tests.
+	TelemetryRing = telemetry.Ring
+	// NDJSONSink streams events as newline-delimited JSON.
+	NDJSONSink = telemetry.NDJSONSink
+	// MetricsRegistry aggregates counters, gauges, and histograms.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSink populates a MetricsRegistry from the event stream.
+	MetricsSink = telemetry.MetricsSink
+)
+
+// NewTelemetryBus returns a bus publishing to the given sinks.
+func NewTelemetryBus(sinks ...telemetry.Sink) *TelemetryBus { return telemetry.NewBus(sinks...) }
+
+// NewTelemetryRing returns an in-memory ring keeping the last n events.
+func NewTelemetryRing(n int) *TelemetryRing { return telemetry.NewRing(n) }
+
+// NewNDJSONSink returns a sink streaming events to w as NDJSON.
+func NewNDJSONSink(w io.Writer) *NDJSONSink { return telemetry.NewNDJSONSink(w) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// NewMetricsSink returns a sink aggregating events into a fresh
+// registry, exposed as its R field.
+func NewMetricsSink() *MetricsSink { return telemetry.NewMetricsSink() }
 
 // --- analytic models (paper §4) ---
 

@@ -244,7 +244,7 @@ func BenchmarkSchedulerEventChurn(b *testing.B) {
 }
 
 func BenchmarkREDEnqueueDequeue(b *testing.B) {
-	q := netem.NewRED(netem.PaperREDConfig(), rand.New(rand.NewSource(1)))
+	q := netem.Must(netem.NewRED(netem.PaperREDConfig(), rand.New(rand.NewSource(1))))
 	p := &netem.Packet{Kind: netem.Data, Size: 1000, Len: 1000}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -255,7 +255,7 @@ func BenchmarkREDEnqueueDequeue(b *testing.B) {
 }
 
 func BenchmarkDropTailEnqueueDequeue(b *testing.B) {
-	q := netem.NewDropTail(64)
+	q := netem.Must(netem.NewDropTail(64))
 	p := &netem.Packet{Kind: netem.Data, Size: 1000, Len: 1000}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -282,7 +282,7 @@ func BenchmarkEndToEndSimulationThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sched := rrtcp.NewScheduler(1)
 		cfg := rrtcp.PaperDropTailConfig(10)
-		cfg.ForwardQueue = rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig())
+		cfg.ForwardQueue = rrtcp.MustQueue(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
 		d, err := rrtcp.NewDumbbell(sched, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -375,7 +375,7 @@ func BenchmarkFigure7DelayedAck(b *testing.B) {
 // --- more substrate microbenchmarks ---
 
 func BenchmarkDRREnqueueDequeue(b *testing.B) {
-	q := netem.NewDRR(1000, 64)
+	q := netem.Must(netem.NewDRR(1000, 64))
 	pkts := [4]*netem.Packet{}
 	for i := range pkts {
 		pkts[i] = &netem.Packet{Flow: i, Kind: netem.Data, Size: 1000, Len: 1000}

@@ -14,6 +14,8 @@
 //	rrsim bursty              Gilbert-Elliott correlated-loss sweep
 //	rrsim run <file.json>     run a user-defined scenario (see examples/scenarios)
 //	rrsim ablation [-drops n] RR design-choice ablations
+//	rrsim chaos [-n n]        seeded-random fault sweep under invariant checking
+//	rrsim chaos -replay f     replay a violation repro bundle
 //	rrsim all [-quick]        everything above
 package main
 
@@ -38,7 +40,7 @@ func main() {
 func run(args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf(
-			"usage: rrsim {fig5|fig6|fig7|table5|ackloss|fairshare|twoway|smoothstart|bursty|ablation|run|all} [flags]")
+			"usage: rrsim {fig5|fig6|fig7|table5|ackloss|fairshare|twoway|smoothstart|bursty|ablation|chaos|run|all} [flags]")
 	}
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -51,6 +53,11 @@ func run(args []string) error {
 	events := fs.String("events", "", "stream structured telemetry as NDJSON to this file, for rrtrace (fig5/run)")
 	metrics := fs.Bool("metrics", false, "print the aggregated metrics snapshot to stderr (fig5/run)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	schedules := fs.Int("n", 100, "number of random fault schedules (chaos)")
+	bytes := fs.Int64("bytes", 0, "per-flow transfer size in bytes (chaos, 0 = default)")
+	horizon := fs.Duration("horizon", 0, "per-run simulated-time bound (chaos, 0 = default)")
+	bundles := fs.String("bundles", "", "directory for violation repro bundles (chaos)")
+	replay := fs.String("replay", "", "replay a repro bundle instead of sweeping (chaos)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -85,6 +92,11 @@ func run(args []string) error {
 		return runScenario(emit, fs.Arg(0), *traceOut, *events, *metrics)
 	case "ablation":
 		return runAblation(emit, *drops)
+	case "chaos":
+		if *replay != "" {
+			return runChaosReplay(*replay)
+		}
+		return runChaos(emit, *schedules, *seed, *variants, *bytes, *horizon, *bundles)
 	case "all":
 		for _, d := range []int{3, 6} {
 			if err := runFigure5(emit, d, *seed, *variants, "", false); err != nil {
@@ -308,6 +320,50 @@ func runScenario(emit renderer, path, traceOut, events string, metrics bool) err
 		}
 	}
 	return emit(rep.RenderText(), rep)
+}
+
+func runChaos(emit renderer, schedules int, seed int64, variants string, bytes int64, horizon time.Duration, bundles string) error {
+	cfg := rrtcp.ChaosConfig{
+		Schedules: schedules,
+		Seed:      seed,
+		Bytes:     bytes,
+		Horizon:   horizon,
+		BundleDir: bundles,
+	}
+	if variants != "" {
+		for _, name := range strings.Split(variants, ",") {
+			kind, err := rrtcp.ParseKind(name)
+			if err != nil {
+				return err
+			}
+			cfg.Variants = append(cfg.Variants, kind)
+		}
+	}
+	res, err := rrtcp.RunChaos(cfg)
+	if err != nil {
+		return err
+	}
+	if err := emit(res.Render(), res); err != nil {
+		return err
+	}
+	if n := res.Violated(); n > 0 {
+		return fmt.Errorf("chaos: %d invariant violation(s)", n)
+	}
+	return nil
+}
+
+func runChaosReplay(path string) error {
+	b, err := rrtcp.LoadChaosBundle(path)
+	if err != nil {
+		return err
+	}
+	out, err := rrtcp.ReplayChaosBundle(b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bundle %s reproduced:\n  case: %s seed=%d\n  violation: %s\n  (%d violations total, finished=%v)\n",
+		path, b.Case.Variant, b.Case.Seed, out.Violations[0], len(out.Violations), out.Finished)
+	return nil
 }
 
 func runAblation(emit renderer, drops int) error {

@@ -101,5 +101,15 @@ func load(path string) ([]telemetry.Record, error) {
 		defer f.Close()
 		r = f
 	}
-	return telemetry.DecodeNDJSON(r)
+	// Event streams from crashed or truncated runs routinely end in a
+	// torn line; decode leniently, skip what doesn't parse, and say so.
+	records, stats, err := telemetry.DecodeNDJSONLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	if stats.Skipped > 0 {
+		fmt.Fprintf(os.Stderr, "rrtrace: skipped %d malformed line(s) of %d (first: %v)\n",
+			stats.Skipped, stats.Lines, stats.FirstErr)
+	}
+	return records, nil
 }

@@ -167,3 +167,51 @@ func TestStdinInput(t *testing.T) {
 		t.Fatalf("stdin summary wrong:\n%s", out)
 	}
 }
+
+// A log with torn or corrupt lines (a crashed run, a partial flush)
+// must still summarize: bad lines are skipped with a stderr warning,
+// good ones survive.
+func TestMalformedLinesSkippedWithWarning(t *testing.T) {
+	good, err := os.ReadFile(writeLog(t))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(good)), "\n")
+	mangled := []string{
+		lines[0],
+		`{"t":"not a number"}`,
+		lines[1],
+		`{"truncated`,
+		"not json at all",
+	}
+	mangled = append(mangled, lines[2:]...)
+	path := filepath.Join(t.TempDir(), "mangled.ndjson")
+	if err := os.WriteFile(path, []byte(strings.Join(mangled, "\n")+"\n"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stderr = w
+	out, runErr := capture(t, func() error { return run([]string{"summary", path}) })
+	os.Stderr = oldErr
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var errBuf bytes.Buffer
+	if _, err := errBuf.ReadFrom(r); err != nil {
+		t.Fatalf("read stderr: %v", err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if !strings.Contains(out, "7 events") {
+		t.Fatalf("summary lost good events:\n%s", out)
+	}
+	if warn := errBuf.String(); !strings.Contains(warn, "skipped 3 malformed line(s)") {
+		t.Fatalf("missing skip warning, got: %q", warn)
+	}
+}

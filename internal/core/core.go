@@ -258,20 +258,23 @@ func (r *RRStrategy) onAckProbe(s *tcp.Sender, ev tcp.AckEvent) {
 // one packet and no burst forms.
 func (r *RRStrategy) exit(s *tcp.Sender, ackNo int64) {
 	r.phase = phaseNone
+	cw := float64(r.actnum)
+	if cw < 1 {
+		cw = 1
+	}
+	// Recovery state is cleared before any Sender call below can emit:
+	// once phase is none, an observer (the invariant checker) must never
+	// see a stale actnum.
+	r.actnum = 0
+	r.ndup = 0
 	if r.opts.ExitToSsthresh {
 		s.SetCwnd(s.Ssthresh())
 	} else {
-		cw := float64(r.actnum)
-		if cw < 1 {
-			cw = 1
-		}
 		s.SetCwnd(cw)
 	}
 	// Seamless exit: cwnd = actnum × MSS hands control back with no
 	// big-ACK burst.
 	s.Emit(telemetry.CompRR, telemetry.KRecoveryExit, ackNo, s.Cwnd(), 0)
-	r.actnum = 0
-	r.ndup = 0
 	s.SetDupAcks(0)
 	s.AdvanceUna(ackNo)
 	if s.Done() {

@@ -34,8 +34,8 @@ func newRRNet(t *testing.T, opts *core.Options, totalPackets int64) *rrNet {
 		strat = core.NewRRWithOptions(*opts)
 	}
 
-	dataLink := netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.NewDropTail(1000), nil)
-	ackLink := netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.NewDropTail(1000), nil)
+	dataLink := netem.Must(netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.Must(netem.NewDropTail(1000)), nil))
+	ackLink := netem.Must(netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.Must(netem.NewDropTail(1000)), nil))
 	loss := netem.NewSeqLoss(dataLink)
 	recv := tcp.NewReceiver(sched, 0, ackLink, tr)
 	dataLink.Dst = recv

@@ -104,7 +104,7 @@ func ackLossRun(cfg AckLossConfig, kind workload.Kind, rate float64, seed int64)
 		dataLoss.Drop(0, (35+int64(i))*mss)
 	}
 	dcfg := netem.PaperDropTailConfig(1)
-	dcfg.ForwardQueue = netem.NewDropTail(100)
+	dcfg.ForwardQueue = netem.Must(netem.NewDropTail(100))
 	dcfg.Loss = dataLoss
 	d, err := netem.NewDumbbell(sched, dcfg)
 	if err != nil {

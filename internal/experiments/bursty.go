@@ -108,7 +108,7 @@ func burstyRun(cfg BurstyConfig, kind workload.Kind, burst float64, seed int64) 
 		BottleneckDelay: 98 * time.Millisecond,
 		SideBps:         100e6,
 		SideDelay:       sideDelay,
-		ForwardQueue:    netem.NewDropTail(1000),
+		ForwardQueue:    netem.Must(netem.NewDropTail(1000)),
 		Loss:            loss,
 	}
 	d, err := netem.NewDumbbell(sched, dcfg)

@@ -1,0 +1,365 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rrtcp/internal/faults"
+	"rrtcp/internal/invariant"
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/tcp"
+	"rrtcp/internal/telemetry"
+	"rrtcp/internal/workload"
+)
+
+// ChaosCase is one fully self-describing chaos run: a variant, a seed,
+// a transfer, and a fault plan. Because every random draw inside the
+// run derives from Seed and the plan is embedded, a ChaosCase replays
+// bit-identically — it is the unit a repro bundle stores.
+type ChaosCase struct {
+	Variant string          `json:"variant"`
+	Seed    int64           `json:"seed"`
+	Bytes   int64           `json:"bytes"`
+	Horizon faults.Duration `json:"horizon"`
+	Plan    faults.PlanSpec `json:"plan"`
+	// Breakage selects a deliberately broken sender for checker
+	// self-tests: "" (healthy), "wedge" (stops transmitting mid-flow),
+	// or "actnum" (reports an impossible in-flight measure).
+	Breakage string `json:"breakage,omitempty"`
+}
+
+// ChaosOutcome is what one case produced.
+type ChaosOutcome struct {
+	// Finished reports whether the transfer completed inside the horizon.
+	Finished bool `json:"finished"`
+	// Violations holds every invariant breach the checker detected.
+	Violations []invariant.Violation `json:"violations,omitempty"`
+	// Events is the tail of the run's event stream (the repro ring).
+	Events []telemetry.Event `json:"-"`
+}
+
+// brokenWedge wraps a healthy strategy but, once the transfer passes
+// the wedge point, consumes every new ACK without ever transmitting
+// again: the flight drains, the retransmission timer is never re-armed,
+// and the connection silently deadlocks. The invariant checker's
+// watchdog must flag it as "stall-no-timer".
+type brokenWedge struct {
+	inner   tcp.Strategy
+	wedgeAt int64
+}
+
+func (b *brokenWedge) Name() string { return b.inner.Name() + "+wedge" }
+
+func (b *brokenWedge) OnAck(s *tcp.Sender, ev tcp.AckEvent) {
+	if !ev.IsDup && s.SndUna() >= b.wedgeAt {
+		s.AdvanceUna(ev.AckNo)
+		return
+	}
+	b.inner.OnAck(s, ev)
+}
+
+func (b *brokenWedge) OnTimeout(s *tcp.Sender) { b.inner.OnTimeout(s) }
+
+// newBreakage builds the deliberately broken strategy for a case, or
+// nil for a healthy run.
+func newBreakage(c ChaosCase, healthy tcp.Strategy) (tcp.Strategy, error) {
+	switch c.Breakage {
+	case "":
+		return nil, nil
+	case "wedge":
+		return &brokenWedge{inner: healthy, wedgeAt: c.Bytes / 2}, nil
+	case "actnum":
+		return &liarStrategy{Strategy: healthy}, nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown breakage %q", c.Breakage)
+	}
+}
+
+// liarStrategy delegates all behavior but implements the checker's
+// RecoveryProbe with an impossible Actnum.
+type liarStrategy struct {
+	tcp.Strategy
+}
+
+func (l *liarStrategy) InRecovery() bool { return true }
+func (l *liarStrategy) InProbe() bool    { return false }
+func (l *liarStrategy) Actnum() int      { return -1 }
+func (l *liarStrategy) Ndup() int        { return 0 }
+
+// RunChaosCase executes one case and reports what happened. The run is
+// deterministic in the case value: identical inputs produce identical
+// outcomes, which is what makes repro bundles replayable.
+func RunChaosCase(c ChaosCase) (*ChaosOutcome, error) {
+	kind, err := workload.ParseKind(c.Variant)
+	if err != nil {
+		return nil, err
+	}
+	if c.Bytes <= 0 {
+		return nil, fmt.Errorf("chaos: transfer size must be positive, got %d", c.Bytes)
+	}
+	if c.Horizon <= 0 {
+		return nil, fmt.Errorf("chaos: horizon must be positive, got %v", time.Duration(c.Horizon))
+	}
+
+	sched := sim.NewScheduler(c.Seed)
+	ring := telemetry.NewRing(512)
+	bus := telemetry.NewBus(ring)
+	checker := invariant.NewChecker(sched, bus)
+	bus.Subscribe(checker)
+	// Stop the run at the first violation so the ring tail ends at the
+	// failure, making bundles maximally informative.
+	checker.OnViolation = func(invariant.Violation) { sched.Stop() }
+
+	dcfg := netem.PaperDropTailConfig(1)
+	d, err := netem.NewDumbbell(sched, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	d.Instrument(bus)
+
+	spec := workload.FlowSpec{
+		Kind:      kind,
+		Bytes:     c.Bytes,
+		Window:    64,
+		Telemetry: bus,
+		OnDone:    func() { sched.Stop() },
+	}
+	if c.Breakage != "" {
+		healthy, err := spec.NewStrategy()
+		if err != nil {
+			return nil, err
+		}
+		broken, err := newBreakage(c, healthy)
+		if err != nil {
+			return nil, err
+		}
+		spec.Strategy = broken
+	}
+	flow, err := workload.Install(sched, d, 0, spec)
+	if err != nil {
+		return nil, err
+	}
+	checker.WatchSender(flow.Sender)
+	if err := checker.StartWatchdog(0, 0, 0); err != nil {
+		return nil, err
+	}
+
+	if err := c.Plan.Apply(sched, d, sched.DeriveRand("faults"), bus); err != nil {
+		return nil, err
+	}
+
+	sched.Run(c.Horizon.D())
+	return &ChaosOutcome{
+		Finished:   flow.Sender.Done(),
+		Violations: checker.Violations(),
+		Events:     ring.Events(),
+	}, nil
+}
+
+// ChaosConfig parameterizes a chaos sweep: N seeded-random fault
+// schedules, each run against every variant.
+type ChaosConfig struct {
+	// Schedules is the number of random fault schedules (default 100).
+	Schedules int `json:"schedules"`
+	// Seed drives schedule generation and per-case seeds (default 1).
+	Seed int64 `json:"seed"`
+	// Variants to sweep (default: all).
+	Variants []workload.Kind `json:"variants"`
+	// Bytes is the per-flow transfer size (default 200 kB).
+	Bytes int64 `json:"bytes"`
+	// Horizon bounds each run in simulated time (default 120 s).
+	Horizon sim.Time `json:"horizonNs"`
+	// BundleDir, when set, receives a repro bundle per violating case.
+	BundleDir string `json:"bundleDir,omitempty"`
+}
+
+func (c *ChaosConfig) fillDefaults() {
+	if c.Schedules <= 0 {
+		c.Schedules = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Variants) == 0 {
+		c.Variants = workload.Kinds()
+	}
+	if c.Bytes <= 0 {
+		c.Bytes = 200 * 1000
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 120 * time.Second
+	}
+}
+
+// ChaosVariantStats aggregates one variant's results across schedules.
+type ChaosVariantStats struct {
+	Variant  workload.Kind `json:"variant"`
+	Runs     int           `json:"runs"`
+	Finished int           `json:"finished"`
+	Violated int           `json:"violated"`
+}
+
+// ChaosFailure pairs a violating case with its first violation (and the
+// bundle path, when bundles are enabled).
+type ChaosFailure struct {
+	Case      ChaosCase           `json:"case"`
+	Violation invariant.Violation `json:"violation"`
+	Bundle    string              `json:"bundle,omitempty"`
+}
+
+// ChaosResult is the full sweep outcome.
+type ChaosResult struct {
+	Config   ChaosConfig         `json:"config"`
+	Stats    []ChaosVariantStats `json:"stats"`
+	Failures []ChaosFailure      `json:"failures,omitempty"`
+}
+
+// Violated reports the total number of violating runs.
+func (r *ChaosResult) Violated() int { return len(r.Failures) }
+
+// Chaos sweeps seeded-random fault schedules across the TCP variants,
+// watching every run with the invariant checker. Each schedule is
+// generated once and run against every variant, so a violation isolates
+// to the variant rather than the weather.
+func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.fillDefaults()
+	res := &ChaosResult{Config: cfg}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	dcfg := netem.PaperDropTailConfig(1)
+
+	stats := make([]ChaosVariantStats, len(cfg.Variants))
+	for i, v := range cfg.Variants {
+		stats[i] = ChaosVariantStats{Variant: v}
+	}
+
+	for s := 0; s < cfg.Schedules; s++ {
+		plan := faults.RandomPlanSpec(master, cfg.Horizon, dcfg)
+		caseSeed := master.Int63()
+		for i, v := range cfg.Variants {
+			c := ChaosCase{
+				Variant: v.String(),
+				Seed:    caseSeed,
+				Bytes:   cfg.Bytes,
+				Horizon: faults.Duration(cfg.Horizon),
+				Plan:    plan,
+			}
+			out, err := RunChaosCase(c)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: schedule %d, %v: %w", s, v, err)
+			}
+			stats[i].Runs++
+			if out.Finished {
+				stats[i].Finished++
+			}
+			if len(out.Violations) > 0 {
+				stats[i].Violated++
+				f := ChaosFailure{Case: c, Violation: out.Violations[0]}
+				if cfg.BundleDir != "" {
+					path, err := WriteBundle(cfg.BundleDir, &Bundle{
+						Case:      c,
+						Violation: out.Violations[0],
+						Events:    out.Events,
+					})
+					if err != nil {
+						return nil, err
+					}
+					f.Bundle = path
+				}
+				res.Failures = append(res.Failures, f)
+			}
+		}
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// Render formats the sweep as a table.
+func (r *ChaosResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos sweep: %d schedules x %d variants (seed %d, %v horizon, %d-byte transfers)\n",
+		r.Config.Schedules, len(r.Config.Variants), r.Config.Seed, r.Config.Horizon, r.Config.Bytes)
+	fmt.Fprintf(&b, "%-10s %8s %10s %10s\n", "variant", "runs", "finished", "violated")
+	for _, st := range r.Stats {
+		fmt.Fprintf(&b, "%-10s %8d %10d %10d\n", st.Variant, st.Runs, st.Finished, st.Violated)
+	}
+	if len(r.Failures) == 0 {
+		fmt.Fprintf(&b, "no invariant violations\n")
+	}
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "VIOLATION %s seed=%d: %s", f.Case.Variant, f.Case.Seed, f.Violation)
+		if f.Bundle != "" {
+			fmt.Fprintf(&b, " (bundle: %s)", f.Bundle)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bundle is a replayable record of an invariant violation: the exact
+// case (variant, seed, plan — everything the run's determinism hangs
+// off), the violation it produced, and the tail of the event stream
+// leading up to it.
+type Bundle struct {
+	Case      ChaosCase           `json:"case"`
+	Violation invariant.Violation `json:"violation"`
+	Events    []telemetry.Event   `json:"events"`
+}
+
+// WriteBundle stores a bundle as JSON under dir, named by variant and
+// seed, creating the directory as needed. It returns the file path.
+func WriteBundle(dir string, b *Bundle) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos: bundle dir: %w", err)
+	}
+	name := fmt.Sprintf("chaos-%s-%d.json", b.Case.Variant, b.Case.Seed)
+	if b.Case.Breakage != "" {
+		name = fmt.Sprintf("chaos-%s-%s-%d.json", b.Case.Variant, b.Case.Breakage, b.Case.Seed)
+	}
+	path := filepath.Join(dir, name)
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("chaos: encode bundle: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", fmt.Errorf("chaos: write bundle: %w", err)
+	}
+	return path, nil
+}
+
+// LoadBundle reads a bundle written by WriteBundle.
+func LoadBundle(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read bundle: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("chaos: decode bundle %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// ReplayBundle re-runs a bundle's case and verifies the stored
+// violation reproduces: same rule, same flow, same simulated instant.
+// It returns the fresh outcome.
+func ReplayBundle(b *Bundle) (*ChaosOutcome, error) {
+	out, err := RunChaosCase(b.Case)
+	if err != nil {
+		return nil, err
+	}
+	if len(out.Violations) == 0 {
+		return out, fmt.Errorf("chaos: replay produced no violation (stored: %s)", b.Violation)
+	}
+	got := out.Violations[0]
+	want := b.Violation
+	if got.Rule != want.Rule || got.Flow != want.Flow || got.At != want.At {
+		return out, fmt.Errorf("chaos: replay diverged: got %s, stored %s", got, want)
+	}
+	return out, nil
+}

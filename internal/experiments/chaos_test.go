@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"rrtcp/internal/faults"
+	"rrtcp/internal/workload"
+)
+
+// A modest sweep across every variant must complete with zero
+// invariant violations: the checker trusts the healthy senders.
+func TestChaosSweepClean(t *testing.T) {
+	res, err := Chaos(ChaosConfig{Schedules: 4, Seed: 7, Bytes: 100 * 1000, Horizon: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Violated(); got != 0 {
+		t.Fatalf("clean sweep produced %d violations:\n%s", got, res.Render())
+	}
+	finished := 0
+	for _, st := range res.Stats {
+		if st.Runs != 4 {
+			t.Errorf("%v: ran %d schedules, want 4", st.Variant, st.Runs)
+		}
+		finished += st.Finished
+	}
+	total := 4 * len(workload.Kinds())
+	if finished < total*3/4 {
+		t.Errorf("only %d/%d runs finished inside the horizon", finished, total)
+	}
+}
+
+func TestChaosCaseRejectsBadInput(t *testing.T) {
+	base := ChaosCase{Variant: "reno", Seed: 1, Bytes: 1000, Horizon: faults.Duration(time.Second)}
+	for name, mutate := range map[string]func(*ChaosCase){
+		"variant":  func(c *ChaosCase) { c.Variant = "quic" },
+		"bytes":    func(c *ChaosCase) { c.Bytes = 0 },
+		"horizon":  func(c *ChaosCase) { c.Horizon = 0 },
+		"breakage": func(c *ChaosCase) { c.Breakage = "gremlins" },
+	} {
+		c := base
+		mutate(&c)
+		if _, err := RunChaosCase(c); err == nil {
+			t.Errorf("bad %s accepted", name)
+		}
+	}
+}
+
+// wedgeCase deadlocks mid-transfer: the watchdog must flag the silent
+// stall, and the resulting bundle must replay to the same violation.
+func wedgeCase() ChaosCase {
+	return ChaosCase{
+		Variant:  "reno",
+		Seed:     42,
+		Bytes:    100 * 1000,
+		Horizon:  faults.Duration(60 * time.Second),
+		Breakage: "wedge",
+	}
+}
+
+func TestChaosBrokenWedgeStalls(t *testing.T) {
+	out, err := RunChaosCase(wedgeCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Finished {
+		t.Fatal("wedged sender finished the transfer")
+	}
+	if len(out.Violations) == 0 {
+		t.Fatal("wedged sender triggered no violation")
+	}
+	if rule := out.Violations[0].Rule; rule != "stall-no-timer" {
+		t.Fatalf("wedge flagged as %q, want stall-no-timer", rule)
+	}
+	if len(out.Events) == 0 {
+		t.Fatal("violation outcome carries no ring events")
+	}
+}
+
+func TestChaosBrokenActnumFlagged(t *testing.T) {
+	c := wedgeCase()
+	c.Variant = "rr"
+	c.Breakage = "actnum"
+	out, err := RunChaosCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) == 0 {
+		t.Fatal("lying recovery probe triggered no violation")
+	}
+	if rule := out.Violations[0].Rule; rule != "actnum-bounds" && rule != "actnum-open" {
+		t.Fatalf("liar flagged as %q, want an actnum rule", rule)
+	}
+}
+
+// The acceptance criterion: a violation's repro bundle replays to the
+// identical violation — same rule, same flow, same simulated instant.
+func TestChaosBundleReplaysDeterministically(t *testing.T) {
+	out, err := RunChaosCase(wedgeCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Violations) == 0 {
+		t.Fatal("no violation to bundle")
+	}
+	dir := t.TempDir()
+	path, err := WriteBundle(dir, &Bundle{Case: wedgeCase(), Violation: out.Violations[0], Events: out.Events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Violation != out.Violations[0] {
+		t.Fatalf("bundle round-trip changed the violation: %v -> %v", out.Violations[0], loaded.Violation)
+	}
+	if len(loaded.Events) != len(out.Events) {
+		t.Fatalf("bundle round-trip changed the event tail: %d -> %d events", len(out.Events), len(loaded.Events))
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ReplayBundle(loaded); err != nil {
+			t.Fatalf("replay %d: %v", i, err)
+		}
+	}
+}
+
+// A healthy case must produce the byte-identical outcome on every run —
+// the determinism that repro bundles stand on.
+func TestChaosCaseDeterministic(t *testing.T) {
+	c := ChaosCase{
+		Variant: "rr",
+		Seed:    99,
+		Bytes:   100 * 1000,
+		Horizon: faults.Duration(60 * time.Second),
+		Plan: faults.PlanSpec{
+			Flaps:       []faults.FlapSpec{{At: faults.Duration(2 * time.Second), Down: faults.Duration(500 * time.Millisecond)}},
+			CorruptRate: 0.01,
+			Ack:         &faults.AckSpec{Hold: faults.Duration(20 * time.Millisecond), Max: 4},
+		},
+	}
+	a, err := RunChaosCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaosCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Finished != b.Finished || len(a.Events) != len(b.Events) {
+		t.Fatalf("re-run diverged: finished %v/%v, %d/%d events",
+			a.Finished, b.Finished, len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}

@@ -93,12 +93,12 @@ func fairShareRun(cfg FairShareConfig, disc string) (FairShareRow, error) {
 	dcfg := netem.PaperDropTailConfig(1)
 	// Keep the forward path loss-free so the only impairment is the
 	// congested ACK path.
-	dcfg.ForwardQueue = netem.NewDropTail(100)
+	dcfg.ForwardQueue = netem.Must(netem.NewDropTail(100))
 	switch disc {
 	case "drr":
-		dcfg.ReverseQueue = netem.NewDRR(500, cfg.ReverseBuffer)
+		dcfg.ReverseQueue = netem.Must(netem.NewDRR(500, cfg.ReverseBuffer))
 	default:
-		dcfg.ReverseQueue = netem.NewDropTail(cfg.ReverseBuffer)
+		dcfg.ReverseQueue = netem.Must(netem.NewDropTail(cfg.ReverseBuffer))
 	}
 	d, err := netem.NewDumbbell(sched, dcfg)
 	if err != nil {

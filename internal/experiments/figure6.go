@@ -129,7 +129,7 @@ func figure6Run(cfg Figure6Config, kind workload.Kind, seed int64) (Figure6Panel
 	if cfg.RED != nil {
 		redCfg = *cfg.RED
 	}
-	red := netem.NewRED(redCfg, sched.Rand())
+	red := netem.Must(netem.NewRED(redCfg, sched.Rand()))
 
 	dcfg := netem.PaperDropTailConfig(cfg.Flows)
 	dcfg.ForwardQueue = red

@@ -131,7 +131,7 @@ func figure7Run(cfg Figure7Config, kind workload.Kind, p float64, seed int64) (f
 		BottleneckDelay: bottleneckDelay,
 		SideBps:         100e6,
 		SideDelay:       sideDelay,
-		ForwardQueue:    netem.NewDropTail(1000),
+		ForwardQueue:    netem.Must(netem.NewDropTail(1000)),
 		Loss:            loss,
 	}
 	d, err := netem.NewDumbbell(sched, dcfg)

@@ -134,7 +134,7 @@ func Table5(cfg Table5Config) (*Table5Result, error) {
 func table5Run(cfg Table5Config, tc Table5Case, seed int64) (Table5Row, error) {
 	sched := sim.NewScheduler(seed)
 	dcfg := netem.PaperDropTailConfig(cfg.Flows)
-	dcfg.ForwardQueue = netem.NewDropTail(25) // paper §5: buffer raised to 25
+	dcfg.ForwardQueue = netem.Must(netem.NewDropTail(25)) // paper §5: buffer raised to 25
 	d, err := netem.NewDumbbell(sched, dcfg)
 	if err != nil {
 		return Table5Row{}, err

@@ -115,7 +115,7 @@ func twoWayRun(cfg TwoWayConfig, kind workload.Kind, seed int64) (sim.Time, floa
 	// Both directions congested: Table 3's 8-packet buffer forward, a
 	// small shared buffer on the reverse path so ACKs compete with the
 	// opposing data for real.
-	dcfg.ReverseQueue = netem.NewDropTail(cfg.ReverseBuffer)
+	dcfg.ReverseQueue = netem.Must(netem.NewDropTail(cfg.ReverseBuffer))
 	d, err := netem.NewDumbbell(sched, dcfg)
 	if err != nil {
 		return 0, 0, 0, false, err

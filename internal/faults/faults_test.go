@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
+)
+
+// countNode records deliveries in arrival order.
+type countNode struct {
+	got []*netem.Packet
+}
+
+func (n *countNode) Receive(p *netem.Packet) { n.got = append(n.got, p) }
+
+func pkt(seq int64, kind netem.PacketKind) *netem.Packet {
+	return &netem.Packet{ID: netem.NextID(), Kind: kind, Seq: seq, Size: 1000}
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	d := Duration(1500 * time.Millisecond)
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1.5s"` {
+		t.Fatalf("marshal: %s", b)
+	}
+	var back Duration
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip %v -> %v", d, back)
+	}
+	if err := json.Unmarshal([]byte(`2000000`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != Duration(2*time.Millisecond) {
+		t.Fatalf("nanosecond form: %v", back)
+	}
+	if err := json.Unmarshal([]byte(`"three furlongs"`), &back); err == nil {
+		t.Fatal("nonsense duration accepted")
+	}
+}
+
+func TestInjectorConstructorValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	rng := rand.New(rand.NewSource(1))
+	dst := &countNode{}
+	if _, err := NewReorderer(sched, rng, 1.5, 0, 0, dst); err == nil {
+		t.Error("reorder rate > 1 accepted")
+	}
+	if _, err := NewReorderer(sched, rng, 0.1, 10, 5, dst); err == nil {
+		t.Error("inverted reorder delay range accepted")
+	}
+	if _, err := NewReorderer(sched, nil, 0.1, 0, 5, dst); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewDuplicator(sched, rng, -0.1, dst); err == nil {
+		t.Error("negative duplicate rate accepted")
+	}
+	if _, err := NewCorrupter(nil, rng, 0.1, dst); err == nil {
+		t.Error("nil scheduler accepted")
+	}
+	if _, err := NewAckCompressor(sched, 0, 4, dst); err == nil {
+		t.Error("zero ACK hold accepted")
+	}
+	if _, err := NewAckCompressor(sched, sim.Time(time.Millisecond), 1, dst); err == nil {
+		t.Error("batch of one accepted")
+	}
+}
+
+func TestReordererDelaysSubset(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	dst := &countNode{}
+	ro, err := NewReorderer(sched, rand.New(rand.NewSource(7)), 0.5,
+		sim.Time(5*time.Millisecond), sim.Time(10*time.Millisecond), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		ro.Receive(pkt(int64(i)*1000, netem.Data))
+	}
+	direct := len(dst.got)
+	if ro.Reordered == 0 || direct == n {
+		t.Fatalf("nothing reordered (%d direct, %d held)", direct, ro.Reordered)
+	}
+	if direct+int(ro.Reordered) != n {
+		t.Fatalf("%d direct + %d reordered != %d", direct, ro.Reordered, n)
+	}
+	sched.RunAll()
+	if len(dst.got) != n {
+		t.Fatalf("%d delivered after drain, want %d", len(dst.got), n)
+	}
+}
+
+func TestDuplicatorInjectsCopies(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	dst := &countNode{}
+	du, err := NewDuplicator(sched, rand.New(rand.NewSource(7)), 0.3, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	ids := make(map[uint64]bool)
+	for i := 0; i < n; i++ {
+		p := pkt(int64(i)*1000, netem.Data)
+		ids[p.ID] = true
+		du.Receive(p)
+	}
+	if du.Duplicated == 0 {
+		t.Fatal("nothing duplicated")
+	}
+	if got := len(dst.got); got != n+int(du.Duplicated) {
+		t.Fatalf("%d delivered, want %d", got, n+int(du.Duplicated))
+	}
+	fresh := 0
+	for _, p := range dst.got {
+		if !ids[p.ID] {
+			fresh++
+		}
+	}
+	if fresh != int(du.Duplicated) {
+		t.Fatalf("%d fresh packet IDs, want %d (copies must not alias originals)", fresh, du.Duplicated)
+	}
+}
+
+func TestCorrupterDropsSubset(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	dst := &countNode{}
+	co, err := NewCorrupter(sched, rand.New(rand.NewSource(7)), 0.3, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		co.Receive(pkt(int64(i)*1000, netem.Data))
+	}
+	if co.Corrupted == 0 {
+		t.Fatal("nothing corrupted")
+	}
+	if got := len(dst.got); got != n-int(co.Corrupted) {
+		t.Fatalf("%d delivered, want %d", got, n-int(co.Corrupted))
+	}
+}
+
+func TestAckCompressorBatchesAcks(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	dst := &countNode{}
+	ac, err := NewAckCompressor(sched, sim.Time(50*time.Millisecond), 3, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data passes straight through.
+	ac.Receive(pkt(0, netem.Data))
+	if len(dst.got) != 1 {
+		t.Fatal("data packet detained")
+	}
+	// Two ACKs are held; the third releases the batch early.
+	ac.Receive(pkt(1000, netem.Ack))
+	ac.Receive(pkt(2000, netem.Ack))
+	if len(dst.got) != 1 || ac.Held() != 2 {
+		t.Fatalf("%d held, %d delivered; want 2 held", ac.Held(), len(dst.got))
+	}
+	ac.Receive(pkt(3000, netem.Ack))
+	if len(dst.got) != 4 || ac.Held() != 0 {
+		t.Fatalf("batch not released at max: %d delivered, %d held", len(dst.got), ac.Held())
+	}
+	if ac.Batches != 1 {
+		t.Fatalf("%d batches, want 1", ac.Batches)
+	}
+	// A lone ACK is released by the hold timer, not a stale one.
+	ac.Receive(pkt(4000, netem.Ack))
+	sched.RunAll()
+	if len(dst.got) != 5 || ac.Held() != 0 {
+		t.Fatalf("hold timer did not flush: %d delivered, %d held", len(dst.got), ac.Held())
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []PlanSpec{
+		{Flaps: []FlapSpec{{At: Duration(-time.Second), Down: Duration(time.Second)}}},
+		{Flaps: []FlapSpec{{At: 0, Down: 0}}},
+		{Renegotiations: []RenegSpec{{At: 0}}},
+		{Renegotiations: []RenegSpec{{At: 0, BandwidthBps: -1}}},
+		{ReorderRate: 2},
+		{ReorderRate: 0.1, ReorderMinDelay: Duration(10 * time.Millisecond), ReorderMaxDelay: Duration(time.Millisecond)},
+		{CorruptRate: -0.5},
+		{Ack: &AckSpec{Hold: 0, Max: 4}},
+		{Ack: &AckSpec{Hold: Duration(time.Millisecond), Max: 1}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+	var zero PlanSpec
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero plan rejected: %v", err)
+	}
+	if zero.Active() {
+		t.Error("zero plan claims to be active")
+	}
+}
+
+func TestRandomPlanSpecDeterministic(t *testing.T) {
+	cfg := netem.PaperDropTailConfig(1)
+	horizon := sim.Time(60 * time.Second)
+	a := RandomPlanSpec(rand.New(rand.NewSource(5)), horizon, cfg)
+	b := RandomPlanSpec(rand.New(rand.NewSource(5)), horizon, cfg)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("same seed, different plans:\n%s\n%s", ja, jb)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("random plan invalid: %v", err)
+	}
+	// Across many seeds every generated plan must validate.
+	for seed := int64(0); seed < 200; seed++ {
+		p := RandomPlanSpec(rand.New(rand.NewSource(seed)), horizon, cfg)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid plan: %v", seed, err)
+		}
+	}
+}
+
+func TestPlanApplyEmitsTelemetry(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	d, err := netem.NewDumbbell(sched, netem.PaperDropTailConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := telemetry.NewRing(64)
+	bus := telemetry.NewBus(ring)
+	d.Instrument(bus)
+	p := PlanSpec{
+		Flaps: []FlapSpec{{At: Duration(time.Second), Down: Duration(500 * time.Millisecond)}},
+		Renegotiations: []RenegSpec{
+			{At: Duration(2 * time.Second), BandwidthBps: 400 * 1000},
+		},
+	}
+	if err := p.Apply(sched, d, sched.DeriveRand("faults"), bus); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run(sim.Time(3 * time.Second))
+	var downs, ups, params int
+	for _, ev := range ring.Events() {
+		switch ev.Kind {
+		case telemetry.KLinkDown:
+			downs++
+		case telemetry.KLinkUp:
+			ups++
+		case telemetry.KLinkParam:
+			params++
+		}
+	}
+	if downs != 2 || ups != 2 || params != 2 {
+		t.Fatalf("got %d downs, %d ups, %d params; want 2 each (both directions)", downs, ups, params)
+	}
+}

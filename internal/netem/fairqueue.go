@@ -1,6 +1,10 @@
 package netem
 
-import "rrtcp/internal/sim"
+import (
+	"fmt"
+
+	"rrtcp/internal/sim"
+)
 
 // DRRQueue is a deficit-round-robin fair queue (Shreedhar & Varghese
 // 1996): each flow gets its own FIFO and a byte quantum per round, so a
@@ -26,13 +30,15 @@ type DRRQueue struct {
 var _ QueueDiscipline = (*DRRQueue)(nil)
 
 // NewDRR builds a fair queue with the given per-round byte quantum and
-// a total buffer limit in packets.
-func NewDRR(quantumBytes, limitPackets int) *DRRQueue {
+// a total buffer limit in packets. Both must be at least one: a
+// non-positive quantum never earns any flow a transmission credit, and
+// a non-positive limit drops everything.
+func NewDRR(quantumBytes, limitPackets int) (*DRRQueue, error) {
 	if quantumBytes < 1 {
-		quantumBytes = 1
+		return nil, fmt.Errorf("netem: DRR quantum must be >= 1 byte, got %d", quantumBytes)
 	}
 	if limitPackets < 1 {
-		limitPackets = 1
+		return nil, fmt.Errorf("netem: DRR limit must be >= 1 packet, got %d", limitPackets)
 	}
 	return &DRRQueue{
 		quantum: quantumBytes,
@@ -41,7 +47,7 @@ func NewDRR(quantumBytes, limitPackets int) *DRRQueue {
 		deficit: make(map[int]int),
 		fresh:   make(map[int]bool),
 		Drops:   make(map[int]uint64),
-	}
+	}, nil
 }
 
 // Enqueue implements QueueDiscipline. When the shared buffer is full,

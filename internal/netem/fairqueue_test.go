@@ -12,7 +12,7 @@ func flowPkt(flow int, size int) *Packet {
 }
 
 func TestDRRSingleFlowFIFO(t *testing.T) {
-	q := NewDRR(1000, 10)
+	q := Must(NewDRR(1000, 10))
 	var ids []uint64
 	for i := 0; i < 5; i++ {
 		p := flowPkt(1, 1000)
@@ -33,7 +33,7 @@ func TestDRRSingleFlowFIFO(t *testing.T) {
 }
 
 func TestDRRInterleavesEqualFlows(t *testing.T) {
-	q := NewDRR(1000, 20)
+	q := Must(NewDRR(1000, 20))
 	for i := 0; i < 4; i++ {
 		q.Enqueue(flowPkt(1, 1000), 0)
 	}
@@ -58,7 +58,7 @@ func TestDRRInterleavesEqualFlows(t *testing.T) {
 func TestDRRFavorsSmallPacketsByBytes(t *testing.T) {
 	// Flow 1 sends 1000-byte packets, flow 2 sends 100-byte packets:
 	// per round flow 2 should drain ~10 packets for each of flow 1's.
-	q := NewDRR(1000, 100)
+	q := Must(NewDRR(1000, 100))
 	for i := 0; i < 10; i++ {
 		q.Enqueue(flowPkt(1, 1000), 0)
 	}
@@ -83,7 +83,7 @@ func TestDRRFavorsSmallPacketsByBytes(t *testing.T) {
 }
 
 func TestDRRLongestQueueDropProtectsSparseFlow(t *testing.T) {
-	q := NewDRR(1000, 10)
+	q := Must(NewDRR(1000, 10))
 	// Flow 1 fills the buffer.
 	for i := 0; i < 10; i++ {
 		q.Enqueue(flowPkt(1, 1000), 0)
@@ -104,7 +104,7 @@ func TestDRRLongestQueueDropProtectsSparseFlow(t *testing.T) {
 }
 
 func TestDRRDropsOwnTailWhenLongest(t *testing.T) {
-	q := NewDRR(1000, 4)
+	q := Must(NewDRR(1000, 4))
 	for i := 0; i < 4; i++ {
 		q.Enqueue(flowPkt(1, 1000), 0)
 	}
@@ -118,7 +118,7 @@ func TestDRRDropsOwnTailWhenLongest(t *testing.T) {
 
 func TestDRRQuantumSmallerThanPacket(t *testing.T) {
 	// Deficit must accumulate across rounds; no livelock.
-	q := NewDRR(100, 10)
+	q := Must(NewDRR(100, 10))
 	q.Enqueue(flowPkt(1, 1000), 0)
 	p := q.Dequeue()
 	if p == nil {
@@ -129,7 +129,7 @@ func TestDRRQuantumSmallerThanPacket(t *testing.T) {
 func TestDRRBehindLink(t *testing.T) {
 	s := sim.NewScheduler(1)
 	sink := &collector{sched: s}
-	l := NewLink(s, 0.8e6, time.Millisecond, NewDRR(1000, 10), sink)
+	l := Must(NewLink(s, 0.8e6, time.Millisecond, Must(NewDRR(1000, 10)), sink))
 	for i := 0; i < 3; i++ {
 		l.Receive(flowPkt(1, 1000))
 		l.Receive(flowPkt(2, 1000))

@@ -1,11 +1,24 @@
 package netem
 
 import (
+	"fmt"
+	"math"
 	"time"
 
 	"rrtcp/internal/sim"
 	"rrtcp/internal/telemetry"
 )
+
+// Must unwraps a constructor result, panicking on error. It is for
+// call sites whose parameters are compile-time constants already known
+// to be valid (experiment configs, tests), in the spirit of
+// regexp.MustCompile.
+func Must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // Link is a point-to-point unidirectional link with a fixed bandwidth
 // and propagation delay, fed by an attached queue. It models the
@@ -24,22 +37,42 @@ type Link struct {
 	queue *Queue
 	busy  bool
 
+	// down marks a failed link: nothing serializes while set, and every
+	// packet on the wire when the failure began is lost.
+	down bool
+	// flaps counts SetDown(true) transitions; in-flight deliveries
+	// compare it against its value at transmission time, so a packet
+	// that was on the wire across a flap is dropped even if the link is
+	// back up when it would have arrived.
+	flaps uint64
+
 	bus  *telemetry.Bus
 	name string
 
 	// TxPackets and TxBytes count transmitted traffic.
 	TxPackets uint64
 	TxBytes   uint64
+	// FaultDrops counts packets lost to link failures (in flight during
+	// a flap, or serialized while the link was down).
+	FaultDrops uint64
 }
 
 var _ Node = (*Link)(nil)
 
 // NewLink builds a link draining the given queue discipline. The queue
 // may be nil, in which case an unbounded FIFO is used (useful for the
-// uncongested side links).
-func NewLink(sched *sim.Scheduler, bandwidthBps float64, delay sim.Time, q QueueDiscipline, dst Node) *Link {
+// uncongested side links). The bandwidth must be positive and finite
+// and the delay non-negative; degenerate values would silently wedge
+// the pipeline (an infinite transmission delay never delivers).
+func NewLink(sched *sim.Scheduler, bandwidthBps float64, delay sim.Time, q QueueDiscipline, dst Node) (*Link, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("netem: link needs a scheduler")
+	}
+	if err := validateLinkParams(bandwidthBps, delay); err != nil {
+		return nil, err
+	}
 	if q == nil {
-		q = NewDropTail(1 << 30)
+		q = &DropTail{limit: 1 << 30}
 	}
 	l := &Link{
 		sched:        sched,
@@ -48,7 +81,17 @@ func NewLink(sched *sim.Scheduler, bandwidthBps float64, delay sim.Time, q Queue
 		Dst:          dst,
 	}
 	l.queue = &Queue{disc: q, sched: sched}
-	return l
+	return l, nil
+}
+
+func validateLinkParams(bandwidthBps float64, delay sim.Time) error {
+	if bandwidthBps <= 0 || math.IsInf(bandwidthBps, 0) || math.IsNaN(bandwidthBps) {
+		return fmt.Errorf("netem: link bandwidth must be positive and finite, got %v", bandwidthBps)
+	}
+	if delay < 0 {
+		return fmt.Errorf("netem: negative link delay %v", delay)
+	}
+	return nil
 }
 
 // Queue returns the link's attached queue, for inspection in tests and
@@ -70,9 +113,82 @@ func (l *Link) Receive(p *Packet) {
 	if !l.queue.enqueue(p) {
 		return // dropped by the discipline
 	}
-	if !l.busy {
+	if !l.busy && !l.down {
 		l.transmitNext()
 	}
+}
+
+// Down reports whether the link carrier is currently lost.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown flips the link's carrier state. Taking the link down loses
+// every packet currently propagating on the wire (they are dropped on
+// arrival) and pauses serialization; the attached queue survives the
+// outage, mirroring a router holding its buffer across an interface
+// flap. Bringing the link back up resumes draining the queue.
+func (l *Link) SetDown(down bool) {
+	if down == l.down {
+		return
+	}
+	l.down = down
+	kind := telemetry.KLinkUp
+	if down {
+		l.flaps++
+		kind = telemetry.KLinkDown
+	}
+	if l.bus.Enabled() {
+		l.bus.Publish(telemetry.Event{
+			At:   l.sched.Now(),
+			Comp: telemetry.CompLink,
+			Kind: kind,
+			Src:  l.name,
+			Flow: telemetry.NoFlow,
+			A:    float64(l.queue.Len()),
+		})
+	}
+	if !down && !l.busy {
+		l.transmitNext()
+	}
+}
+
+// SetBandwidth renegotiates the link rate mid-flow (a modem retrain, a
+// wireless rate adaptation). In-flight packets are unaffected; packets
+// serialized from now on see the new rate.
+func (l *Link) SetBandwidth(bps float64) error {
+	if err := validateLinkParams(bps, l.Delay); err != nil {
+		return err
+	}
+	l.BandwidthBps = bps
+	l.emitParam()
+	return nil
+}
+
+// SetDelay renegotiates the propagation delay mid-flow (a path change),
+// stepping the flow's RTT. In-flight packets keep the delay they left
+// with, so a delay drop can reorder across the change point — exactly
+// the hazard the injection is meant to exercise.
+func (l *Link) SetDelay(d sim.Time) error {
+	if err := validateLinkParams(l.BandwidthBps, d); err != nil {
+		return err
+	}
+	l.Delay = d
+	l.emitParam()
+	return nil
+}
+
+func (l *Link) emitParam() {
+	if !l.bus.Enabled() {
+		return
+	}
+	l.bus.Publish(telemetry.Event{
+		At:   l.sched.Now(),
+		Comp: telemetry.CompLink,
+		Kind: telemetry.KLinkParam,
+		Src:  l.name,
+		Flow: telemetry.NoFlow,
+		A:    l.BandwidthBps,
+		B:    l.Delay.Seconds(),
+	})
 }
 
 // TransmissionDelay returns the serialization time of a packet of the
@@ -83,6 +199,10 @@ func (l *Link) TransmissionDelay(sizeBytes int) sim.Time {
 }
 
 func (l *Link) transmitNext() {
+	if l.down {
+		l.busy = false
+		return
+	}
 	p := l.queue.dequeue()
 	if p == nil {
 		l.busy = false
@@ -105,14 +225,40 @@ func (l *Link) transmitNext() {
 		})
 	}
 	// The packet leaves the queue now and arrives after tx+prop delay;
-	// the link is free to start the next packet after tx delay alone.
-	if _, err := l.sched.Schedule(txDelay+l.Delay, func() { l.Dst.Receive(p) }); err != nil {
+	// the link is free to start the next packet after tx delay alone. A
+	// packet on the wire across a carrier loss never arrives: the flap
+	// counter at transmission time is compared at delivery time.
+	flapsAtTx := l.flaps
+	if _, err := l.sched.Schedule(txDelay+l.Delay, func() {
+		if l.flaps != flapsAtTx {
+			l.dropInFlight(p)
+			return
+		}
+		l.Dst.Receive(p)
+	}); err != nil {
 		l.busy = false
 		return
 	}
 	if _, err := l.sched.Schedule(txDelay, l.transmitNext); err != nil {
 		l.busy = false
 	}
+}
+
+// dropInFlight accounts for a wire packet lost to a link flap.
+func (l *Link) dropInFlight(p *Packet) {
+	l.FaultDrops++
+	if !l.bus.Enabled() {
+		return
+	}
+	l.bus.Publish(telemetry.Event{
+		At:   l.sched.Now(),
+		Comp: telemetry.CompLink,
+		Kind: telemetry.KDrop,
+		Src:  l.name,
+		Flow: int32(p.Flow),
+		Seq:  p.Seq,
+		B:    1,
+	})
 }
 
 // Queue wraps a QueueDiscipline with occupancy accounting shared by all

@@ -25,7 +25,7 @@ func TestLinkTransmissionPlusPropagation(t *testing.T) {
 	s := sim.NewScheduler(1)
 	sink := &collector{sched: s}
 	// 0.8 Mbps, 50 ms: a 1000-byte packet serializes in 10 ms.
-	l := NewLink(s, 0.8e6, 50*time.Millisecond, NewDropTail(10), sink)
+	l := Must(NewLink(s, 0.8e6, 50*time.Millisecond, Must(NewDropTail(10)), sink))
 	l.Receive(pkt(1))
 	s.RunAll()
 	want := 60 * time.Millisecond
@@ -37,7 +37,7 @@ func TestLinkTransmissionPlusPropagation(t *testing.T) {
 func TestLinkSerializesBackToBack(t *testing.T) {
 	s := sim.NewScheduler(1)
 	sink := &collector{sched: s}
-	l := NewLink(s, 0.8e6, 50*time.Millisecond, NewDropTail(10), sink)
+	l := Must(NewLink(s, 0.8e6, 50*time.Millisecond, Must(NewDropTail(10)), sink))
 	l.Receive(pkt(1))
 	l.Receive(pkt(2))
 	l.Receive(pkt(3))
@@ -57,7 +57,7 @@ func TestLinkSerializesBackToBack(t *testing.T) {
 func TestLinkDropsWhenQueueFull(t *testing.T) {
 	s := sim.NewScheduler(1)
 	sink := &collector{sched: s}
-	l := NewLink(s, 0.8e6, time.Millisecond, NewDropTail(2), sink)
+	l := Must(NewLink(s, 0.8e6, time.Millisecond, Must(NewDropTail(2)), sink))
 	// One packet goes straight to the transmitter; two queue; the rest drop.
 	for i := uint64(0); i < 6; i++ {
 		l.Receive(pkt(i))
@@ -74,7 +74,7 @@ func TestLinkDropsWhenQueueFull(t *testing.T) {
 func TestLinkIdleThenBusyAgain(t *testing.T) {
 	s := sim.NewScheduler(1)
 	sink := &collector{sched: s}
-	l := NewLink(s, 8e6, time.Millisecond, NewDropTail(10), sink)
+	l := Must(NewLink(s, 8e6, time.Millisecond, Must(NewDropTail(10)), sink))
 	l.Receive(pkt(1))
 	s.RunAll()
 	l.Receive(pkt(2))
@@ -90,7 +90,7 @@ func TestLinkIdleThenBusyAgain(t *testing.T) {
 func TestLinkCountsBytes(t *testing.T) {
 	s := sim.NewScheduler(1)
 	sink := &collector{sched: s}
-	l := NewLink(s, 8e6, time.Millisecond, nil, sink)
+	l := Must(NewLink(s, 8e6, time.Millisecond, nil, sink))
 	l.Receive(&Packet{ID: 1, Kind: Ack, Size: 40})
 	l.Receive(&Packet{ID: 2, Kind: Data, Size: 1000, Len: 1000})
 	s.RunAll()
@@ -101,7 +101,7 @@ func TestLinkCountsBytes(t *testing.T) {
 
 func TestLinkSmallPacketsFaster(t *testing.T) {
 	s := sim.NewScheduler(1)
-	l := NewLink(s, 0.8e6, 0, nil, &collector{sched: s})
+	l := Must(NewLink(s, 0.8e6, 0, nil, &collector{sched: s}))
 	ack := l.TransmissionDelay(40)
 	data := l.TransmissionDelay(1000)
 	if ack >= data {

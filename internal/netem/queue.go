@@ -1,6 +1,7 @@
 package netem
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -29,12 +30,15 @@ type DropTail struct {
 
 var _ QueueDiscipline = (*DropTail)(nil)
 
-// NewDropTail returns a FIFO holding at most limit packets.
-func NewDropTail(limit int) *DropTail {
+// NewDropTail returns a FIFO holding at most limit packets. A limit
+// below one is an error: such a queue drops everything, which in a
+// congestion-control simulation is almost always a misconfiguration
+// rather than an intent.
+func NewDropTail(limit int) (*DropTail, error) {
 	if limit < 1 {
-		limit = 1
+		return nil, fmt.Errorf("netem: drop-tail limit must be >= 1 packet, got %d", limit)
 	}
-	return &DropTail{limit: limit}
+	return &DropTail{limit: limit}, nil
 }
 
 // Enqueue implements QueueDiscipline.
@@ -127,15 +131,30 @@ type REDQueue struct {
 var _ QueueDiscipline = (*REDQueue)(nil)
 
 // NewRED builds a RED queue using the provided deterministic random
-// source for drop decisions.
-func NewRED(cfg REDConfig, rng *rand.Rand) *REDQueue {
+// source for drop decisions. The configuration must describe a usable
+// drop curve: a positive buffer, thresholds with min < max, a drop
+// probability in (0, 1], and an EWMA weight in (0, 1].
+func NewRED(cfg REDConfig, rng *rand.Rand) (*REDQueue, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("netem: RED needs a random source")
+	}
 	if cfg.Limit < 1 {
-		cfg.Limit = 1
+		return nil, fmt.Errorf("netem: RED buffer limit must be >= 1 packet, got %d", cfg.Limit)
+	}
+	if cfg.MinThreshold < 0 || cfg.MaxThreshold <= cfg.MinThreshold {
+		return nil, fmt.Errorf("netem: RED thresholds must satisfy 0 <= min < max, got min=%v max=%v",
+			cfg.MinThreshold, cfg.MaxThreshold)
+	}
+	if cfg.MaxDropProb <= 0 || cfg.MaxDropProb > 1 {
+		return nil, fmt.Errorf("netem: RED max drop probability must be in (0, 1], got %v", cfg.MaxDropProb)
+	}
+	if cfg.QueueWeight <= 0 || cfg.QueueWeight > 1 {
+		return nil, fmt.Errorf("netem: RED queue weight must be in (0, 1], got %v", cfg.QueueWeight)
 	}
 	if cfg.MeanPacketSize <= 0 {
 		cfg.MeanPacketSize = 1000
 	}
-	return &REDQueue{cfg: cfg, rng: rng, count: -1}
+	return &REDQueue{cfg: cfg, rng: rng, count: -1}, nil
 }
 
 // AvgQueue reports the current average queue estimate, for tests.

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"rrtcp/internal/sim"
 )
 
 func pkt(id uint64) *Packet {
@@ -12,7 +14,7 @@ func pkt(id uint64) *Packet {
 }
 
 func TestDropTailCapacity(t *testing.T) {
-	q := NewDropTail(3)
+	q := Must(NewDropTail(3))
 	for i := uint64(0); i < 3; i++ {
 		if !q.Enqueue(pkt(i), 0) {
 			t.Fatalf("packet %d rejected below capacity", i)
@@ -27,7 +29,7 @@ func TestDropTailCapacity(t *testing.T) {
 }
 
 func TestDropTailFIFOOrder(t *testing.T) {
-	q := NewDropTail(10)
+	q := Must(NewDropTail(10))
 	for i := uint64(0); i < 5; i++ {
 		q.Enqueue(pkt(i), 0)
 	}
@@ -42,10 +44,49 @@ func TestDropTailFIFOOrder(t *testing.T) {
 	}
 }
 
-func TestDropTailMinimumLimit(t *testing.T) {
-	q := NewDropTail(0)
-	if q.Limit() != 1 {
-		t.Fatalf("limit = %d, want clamp to 1", q.Limit())
+func TestDropTailRejectsDegenerateLimit(t *testing.T) {
+	for _, lim := range []int{0, -1} {
+		if q, err := NewDropTail(lim); err == nil {
+			t.Fatalf("NewDropTail(%d) = %v, want error", lim, q)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	s := sim.NewScheduler(1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewLink(s, 0, time.Millisecond, nil, nil); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewLink(s, -1e6, time.Millisecond, nil, nil); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	if _, err := NewLink(s, 1e6, -time.Millisecond, nil, nil); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if _, err := NewLink(nil, 1e6, time.Millisecond, nil, nil); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := NewRED(REDConfig{Limit: 0, MinThreshold: 5, MaxThreshold: 20, MaxDropProb: 0.02, QueueWeight: 0.002}, rng); err == nil {
+		t.Fatal("RED zero limit accepted")
+	}
+	if _, err := NewRED(REDConfig{Limit: 25, MinThreshold: 20, MaxThreshold: 5, MaxDropProb: 0.02, QueueWeight: 0.002}, rng); err == nil {
+		t.Fatal("RED inverted thresholds accepted")
+	}
+	if _, err := NewRED(REDConfig{Limit: 25, MinThreshold: 5, MaxThreshold: 20, MaxDropProb: 0, QueueWeight: 0.002}, rng); err == nil {
+		t.Fatal("RED zero maxp accepted")
+	}
+	if _, err := NewRED(REDConfig{Limit: 25, MinThreshold: 5, MaxThreshold: 20, MaxDropProb: 0.02, QueueWeight: 2}, rng); err == nil {
+		t.Fatal("RED weight > 1 accepted")
+	}
+	if _, err := NewRED(PaperREDConfig(), nil); err == nil {
+		t.Fatal("RED nil rng accepted")
+	}
+	if _, err := NewDRR(0, 10); err == nil {
+		t.Fatal("DRR zero quantum accepted")
+	}
+	if _, err := NewDRR(1000, 0); err == nil {
+		t.Fatal("DRR zero limit accepted")
 	}
 }
 
@@ -54,7 +95,7 @@ func TestDropTailMinimumLimit(t *testing.T) {
 func TestDropTailProperty(t *testing.T) {
 	f := func(ops []bool, limit uint8) bool {
 		lim := int(limit%16) + 1
-		q := NewDropTail(lim)
+		q := Must(NewDropTail(lim))
 		var accepted, dequeued []uint64
 		var next uint64
 		for _, enq := range ops {
@@ -91,7 +132,7 @@ func TestDropTailProperty(t *testing.T) {
 
 func TestREDNoDropsBelowMinThreshold(t *testing.T) {
 	cfg := PaperREDConfig()
-	q := NewRED(cfg, rand.New(rand.NewSource(1)))
+	q := Must(NewRED(cfg, rand.New(rand.NewSource(1))))
 	// With an empty queue the average stays near zero, so the first few
 	// packets must always be accepted.
 	for i := uint64(0); i < 4; i++ {
@@ -107,7 +148,7 @@ func TestREDNoDropsBelowMinThreshold(t *testing.T) {
 func TestREDForcedDropAtLimit(t *testing.T) {
 	cfg := PaperREDConfig()
 	cfg.Limit = 5
-	q := NewRED(cfg, rand.New(rand.NewSource(1)))
+	q := Must(NewRED(cfg, rand.New(rand.NewSource(1))))
 	for i := uint64(0); i < 5; i++ {
 		q.Enqueue(pkt(i), 0)
 	}
@@ -127,7 +168,7 @@ func TestREDEarlyDropsInRandomRegion(t *testing.T) {
 		QueueWeight:  0.5, // fast-moving average for the test
 		Limit:        100,
 	}
-	q := NewRED(cfg, rand.New(rand.NewSource(1)))
+	q := Must(NewRED(cfg, rand.New(rand.NewSource(1))))
 	dropsBefore := q.EarlyDrops
 	// Grow the queue so the average sits between the thresholds.
 	for i := uint64(0); i < 50; i++ {
@@ -149,7 +190,7 @@ func TestREDForcedDropAboveMaxThreshold(t *testing.T) {
 		QueueWeight:  1, // average == instantaneous
 		Limit:        100,
 	}
-	q := NewRED(cfg, rand.New(rand.NewSource(1)))
+	q := Must(NewRED(cfg, rand.New(rand.NewSource(1))))
 	for i := uint64(0); i < 10; i++ {
 		q.Enqueue(pkt(i), 0)
 	}
@@ -164,7 +205,7 @@ func TestREDForcedDropAboveMaxThreshold(t *testing.T) {
 func TestREDAverageDecaysWhenIdle(t *testing.T) {
 	cfg := PaperREDConfig()
 	cfg.QueueWeight = 0.5
-	q := NewRED(cfg, rand.New(rand.NewSource(1)))
+	q := Must(NewRED(cfg, rand.New(rand.NewSource(1))))
 	for i := uint64(0); i < 20; i++ {
 		q.Enqueue(pkt(i), 0)
 	}
@@ -183,7 +224,7 @@ func TestREDAverageDecaysWhenIdle(t *testing.T) {
 
 func TestREDDeterministicForSeed(t *testing.T) {
 	run := func() (uint64, uint64) {
-		q := NewRED(PaperREDConfig(), rand.New(rand.NewSource(9)))
+		q := Must(NewRED(PaperREDConfig(), rand.New(rand.NewSource(9))))
 		for i := uint64(0); i < 500; i++ {
 			q.Enqueue(pkt(i), time.Duration(i)*time.Millisecond)
 			if i%3 == 0 {

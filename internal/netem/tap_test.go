@@ -63,7 +63,7 @@ func TestTapInline(t *testing.T) {
 	// the sender emits.
 	s := sim.NewScheduler(1)
 	sink := &collector{sched: s}
-	link := NewLink(s, 10e6, time.Millisecond, nil, sink)
+	link := Must(NewLink(s, 10e6, time.Millisecond, nil, sink))
 	tap := NewTap(s, "pre-bottleneck", link)
 	for i := 0; i < 5; i++ {
 		tap.Receive(&Packet{ID: uint64(i), Kind: Data, Size: 1000, Len: 1000})

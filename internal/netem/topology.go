@@ -67,7 +67,7 @@ func PaperDropTailConfig(flows int) DumbbellConfig {
 		BottleneckDelay: 50 * time.Millisecond,
 		SideBps:         10e6,
 		SideDelay:       1 * time.Millisecond,
-		ForwardQueue:    NewDropTail(8),
+		ForwardQueue:    Must(NewDropTail(8)),
 	}
 }
 
@@ -87,6 +87,12 @@ type Dumbbell struct {
 	reverse       *Link   // R2 -> R1 (bottleneck, ACK path)
 	fwdDemux      *Demux  // at R2, to receivers
 	revDemux      *Demux  // at R1, to senders
+
+	// fwdEntry and revEntry are the first nodes on each bottleneck path
+	// (the links themselves, or the head of an injector chain in front
+	// of them); side links feed into these.
+	fwdEntry Node
+	revEntry Node
 }
 
 // NewDumbbell wires up the topology on the given scheduler.
@@ -94,12 +100,15 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig) (*Dumbbell, error) {
 	if cfg.Flows < 1 {
 		return nil, fmt.Errorf("netem: dumbbell needs at least one flow, got %d", cfg.Flows)
 	}
-	if cfg.BottleneckBps <= 0 || cfg.SideBps <= 0 {
-		return nil, fmt.Errorf("netem: non-positive link bandwidth")
+	if err := validateLinkParams(cfg.BottleneckBps, cfg.BottleneckDelay); err != nil {
+		return nil, fmt.Errorf("bottleneck: %w", err)
+	}
+	if err := validateLinkParams(cfg.SideBps, cfg.SideDelay); err != nil {
+		return nil, fmt.Errorf("side link: %w", err)
 	}
 	fq := cfg.ForwardQueue
 	if fq == nil {
-		fq = NewDropTail(8)
+		fq = Must(NewDropTail(8))
 	}
 	revLimit := cfg.ReverseQueueLimit
 	if revLimit <= 0 {
@@ -114,29 +123,33 @@ func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig) (*Dumbbell, error) {
 	}
 	rq := cfg.ReverseQueue
 	if rq == nil {
-		rq = NewDropTail(revLimit)
+		rq = Must(NewDropTail(revLimit))
 	}
-	d.forward = NewLink(sched, cfg.BottleneckBps, cfg.BottleneckDelay, fq, d.fwdDemux)
-	d.reverse = NewLink(sched, cfg.BottleneckBps, cfg.BottleneckDelay, rq, d.revDemux)
+	// The parameters were validated above, so per-link construction
+	// cannot fail; the panic path in Must is unreachable here.
+	d.forward = Must(NewLink(sched, cfg.BottleneckBps, cfg.BottleneckDelay, fq, d.fwdDemux))
+	d.reverse = Must(NewLink(sched, cfg.BottleneckBps, cfg.BottleneckDelay, rq, d.revDemux))
+	d.revEntry = d.reverse
 
 	// Entry into the forward bottleneck, optionally via a loss module.
-	var fwdEntry Node = d.forward
+	d.fwdEntry = d.forward
 	if cfg.Loss != nil {
 		if setter, ok := cfg.Loss.(DstSetter); ok {
 			setter.SetDst(d.forward)
 		}
-		fwdEntry = cfg.Loss
+		d.fwdEntry = cfg.Loss
 	}
 
+	sideQueue := func() QueueDiscipline { return Must(NewDropTail(1000)) }
 	d.senderLinks = make([]*Link, cfg.Flows)
 	d.receiverLinks = make([]*Link, cfg.Flows)
 	d.ackLinks = make([]*Link, cfg.Flows)
 	d.returnLinks = make([]*Link, cfg.Flows)
 	for i := 0; i < cfg.Flows; i++ {
-		d.senderLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), fwdEntry)
-		d.receiverLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), nil)
-		d.ackLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), d.reverse)
-		d.returnLinks[i] = NewLink(sched, cfg.SideBps, cfg.SideDelay, NewDropTail(1000), nil)
+		d.senderLinks[i] = Must(NewLink(sched, cfg.SideBps, cfg.SideDelay, sideQueue(), d.fwdEntry))
+		d.receiverLinks[i] = Must(NewLink(sched, cfg.SideBps, cfg.SideDelay, sideQueue(), nil))
+		d.ackLinks[i] = Must(NewLink(sched, cfg.SideBps, cfg.SideDelay, sideQueue(), d.revEntry))
+		d.returnLinks[i] = Must(NewLink(sched, cfg.SideBps, cfg.SideDelay, sideQueue(), nil))
 		d.fwdDemux.Route(i, d.receiverLinks[i])
 		d.revDemux.Route(i, d.returnLinks[i])
 	}
@@ -156,6 +169,35 @@ func (d *Dumbbell) ConnectReceiver(i int, n Node) { d.receiverLinks[i].Dst = n }
 // ConnectSender registers the endpoint that consumes flow i's ACKs back
 // at host S_i.
 func (d *Dumbbell) ConnectSender(i int, n Node) { d.returnLinks[i].Dst = n }
+
+// ForwardEntry returns the first node on the forward bottleneck path —
+// the forward link itself, or the head of whatever injector chain has
+// been pushed in front of it.
+func (d *Dumbbell) ForwardEntry() Node { return d.fwdEntry }
+
+// SetForwardEntry interposes n at the head of the forward bottleneck
+// path and rewires every sender-side link to feed it. Fault injectors
+// chain themselves in with this: n should ultimately deliver into the
+// previous ForwardEntry.
+func (d *Dumbbell) SetForwardEntry(n Node) {
+	d.fwdEntry = n
+	for _, l := range d.senderLinks {
+		l.Dst = n
+	}
+}
+
+// ReverseEntry returns the first node on the reverse (ACK) bottleneck
+// path.
+func (d *Dumbbell) ReverseEntry() Node { return d.revEntry }
+
+// SetReverseEntry interposes n at the head of the reverse bottleneck
+// path, rewiring every receiver-side ACK link to feed it.
+func (d *Dumbbell) SetReverseEntry(n Node) {
+	d.revEntry = n
+	for _, l := range d.ackLinks {
+		l.Dst = n
+	}
+}
 
 // BottleneckQueue exposes the congested R1→R2 queue for tracing.
 func (d *Dumbbell) BottleneckQueue() *Queue { return d.forward.Queue() }

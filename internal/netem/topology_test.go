@@ -74,7 +74,7 @@ func TestDumbbellEndToEndDelay(t *testing.T) {
 func TestDumbbellBottleneckSharedAcrossFlows(t *testing.T) {
 	s := sim.NewScheduler(1)
 	cfg := PaperDropTailConfig(2)
-	cfg.ForwardQueue = NewDropTail(1)
+	cfg.ForwardQueue = Must(NewDropTail(1))
 	d, err := NewDumbbell(s, cfg)
 	if err != nil {
 		t.Fatalf("NewDumbbell: %v", err)

@@ -60,25 +60,31 @@ type QueueSpec struct {
 
 func (q *QueueSpec) build(sched *sim.Scheduler) (netem.QueueDiscipline, error) {
 	limit := q.Limit
-	if limit <= 0 {
-		limit = 8
+	if limit < 0 {
+		return nil, fmt.Errorf("scenario: negative queue limit %d", limit)
+	}
+	if limit == 0 {
+		limit = 8 // unset: the Table 3 default
 	}
 	switch q.Type {
 	case "", "droptail", "fifo":
-		return netem.NewDropTail(limit), nil
+		return netem.NewDropTail(limit)
 	case "red":
 		cfg := netem.PaperREDConfig()
 		if q.RED != nil {
 			cfg = *q.RED
 		}
 		cfg.Limit = limit
-		return netem.NewRED(cfg, sched.Rand()), nil
+		return netem.NewRED(cfg, sched.Rand())
 	case "drr":
 		quantum := q.Quantum
-		if quantum <= 0 {
+		if quantum < 0 {
+			return nil, fmt.Errorf("scenario: negative DRR quantum %d", quantum)
+		}
+		if quantum == 0 {
 			quantum = 1000
 		}
-		return netem.NewDRR(quantum, limit), nil
+		return netem.NewDRR(quantum, limit)
 	default:
 		return nil, fmt.Errorf("scenario: unknown queue type %q", q.Type)
 	}

@@ -9,6 +9,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 )
@@ -82,6 +83,7 @@ type Scheduler struct {
 	queue   eventHeap
 	nextSeq uint64
 	stopped bool
+	seed    int64
 	rng     *rand.Rand
 
 	// Processed counts events that have fired, for diagnostics.
@@ -96,14 +98,34 @@ type Scheduler struct {
 // random source is seeded with the given seed. All randomness used by a
 // simulation must flow through Rand so that runs are reproducible.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now reports the current simulated time.
 func (s *Scheduler) Now() Time { return s.now }
 
+// Seed reports the seed the scheduler was constructed with.
+func (s *Scheduler) Seed() int64 { return s.seed }
+
 // Rand exposes the scheduler's deterministic random source.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// DeriveRand returns an independent deterministic random source keyed
+// by the scheduler's seed and the given tag. Consumers with their own
+// randomness (fault injectors, chaos schedules) draw from a derived
+// stream so their draws neither perturb nor depend on the shared Rand
+// sequence: adding a fault plan to a scenario leaves every other random
+// decision in the run unchanged.
+func (s *Scheduler) DeriveRand(tag string) *rand.Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(uint64(s.seed) >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(tag))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
 
 // Pending reports the number of events waiting to fire.
 func (s *Scheduler) Pending() int { return s.queue.Len() }

@@ -37,8 +37,8 @@ func newTestNet(t *testing.T, strat Strategy, cfg testNetConfig) *testNet {
 
 	n := &testNet{sched: sched, tr: tr}
 
-	dataLink := netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.NewDropTail(1000), nil)
-	ackLink := netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.NewDropTail(1000), nil)
+	dataLink := netem.Must(netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.Must(netem.NewDropTail(1000)), nil))
+	ackLink := netem.Must(netem.NewLink(sched, 10e6, 10*time.Millisecond, netem.Must(netem.NewDropTail(1000)), nil))
 	n.loss = netem.NewSeqLoss(dataLink)
 	n.ackLoss = netem.NewSeqLoss(ackLink)
 

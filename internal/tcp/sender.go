@@ -238,6 +238,18 @@ func (s *Sender) Done() bool { return s.done }
 // SRTT exposes the smoothed RTT estimate in seconds.
 func (s *Sender) SRTT() float64 { return s.rtt.SRTT() }
 
+// RTOBackoff reports the current exponential-backoff shift applied to
+// the retransmission timeout (0 outside repeated-timeout situations).
+func (s *Sender) RTOBackoff() uint { return s.rtoBackoff }
+
+// TimerArmed reports whether the retransmission timer is pending — a
+// sender with outstanding data and no armed timer is deadlocked, which
+// is exactly what the invariant checker's watchdog looks for.
+func (s *Sender) TimerArmed() bool { return s.rtxTimer.Armed() }
+
+// Strategy exposes the congestion-control strategy driving this sender.
+func (s *Sender) Strategy() Strategy { return s.strat }
+
 // Trace returns the attached flow trace (may be nil).
 func (s *Sender) Trace() *trace.FlowTrace { return s.tr }
 
@@ -275,6 +287,14 @@ func (s *Sender) Receive(p *netem.Packet) {
 	}
 	if p.AckNo < s.sndUna {
 		return // stale, reordered ACK
+	}
+	if p.AckNo > s.maxSeq {
+		// Acknowledges data never sent — a forged or corrupted ACK.
+		// RFC 793: drop it rather than let it fabricate sender state.
+		// (The bound is the snd.nxt high-water mark, not snd.nxt itself:
+		// after a go-back-N rewind a legitimate cumulative ACK covering
+		// receiver-buffered data exceeds the rewound snd.nxt.)
+		return
 	}
 	ev := AckEvent{
 		AckNo: p.AckNo,
@@ -358,10 +378,17 @@ func (s *Sender) HasNewData() bool { return s.availableBytes() > 0 }
 
 // SendNewSegment transmits one new MSS-sized segment at SndNxt,
 // ignoring the congestion window (strategies that meter transmissions
-// themselves — RR, SACK — use this directly). It reports whether a
+// themselves — RR, SACK — use this directly). Self-metered recovery may
+// overshoot the advertised window by the dup-ACK clock (the paper's
+// model assumes a receiver window above the operating point), but twice
+// the advertised window is a hard sanity bound: past it something is
+// broken, and no more data enters the pipe. It reports whether a
 // segment was sent.
 func (s *Sender) SendNewSegment() bool {
 	if s.done {
+		return false
+	}
+	if s.FlightPackets() >= 2*s.cfg.Window {
 		return false
 	}
 	avail := s.availableBytes()

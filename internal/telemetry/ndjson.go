@@ -174,22 +174,59 @@ func (r Record) MarshalJSON() ([]byte, error) {
 	return append(b, '}'), nil
 }
 
+// DecodeStats reports what a lenient decode pass saw.
+type DecodeStats struct {
+	// Lines counts non-blank input lines.
+	Lines int
+	// Skipped counts malformed lines that were dropped.
+	Skipped int
+	// FirstErr describes the first malformed line, for diagnostics.
+	FirstErr error
+}
+
 // DecodeNDJSON parses an event log produced by NDJSONSink. Blank lines
-// are skipped; a malformed line aborts with its line number.
+// are skipped; a malformed line aborts with its line number. Use
+// DecodeNDJSONLenient for logs that may be truncated or interleaved
+// with foreign output.
 func DecodeNDJSON(r io.Reader) ([]Record, error) {
+	out, stats, err := DecodeNDJSONLenient(r)
+	if err != nil {
+		return nil, err
+	}
+	if stats.Skipped > 0 {
+		return nil, stats.FirstErr
+	}
+	return out, nil
+}
+
+// DecodeNDJSONLenient parses an event log, skipping and counting
+// malformed lines instead of aborting — the behavior cmd/rrtrace needs
+// for logs truncated mid-line (a killed run) or polluted by interleaved
+// stderr. The returned error covers only I/O-level failures; parse
+// problems are reported through DecodeStats.
+func DecodeNDJSONLenient(r io.Reader) ([]Record, DecodeStats, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var out []Record
+	var stats DecodeStats
 	lineNo := 0
+	skip := func(lineNo int, err error) {
+		stats.Skipped++
+		if stats.FirstErr == nil {
+			stats.FirstErr = fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+	}
 	for sc.Scan() {
 		lineNo++
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
+		stats.Lines++
 		var raw map[string]any
 		if err := json.Unmarshal(line, &raw); err != nil {
-			return nil, fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+			skip(lineNo, err)
+			continue
 		}
 		rec := Record{Flow: NoFlow, Attrs: map[string]float64{}}
 		for k, v := range raw {
@@ -217,12 +254,13 @@ func DecodeNDJSON(r io.Reader) ([]Record, error) {
 			}
 		}
 		if rec.Kind == "" {
-			return nil, fmt.Errorf("telemetry: line %d: missing \"kind\"", lineNo)
+			skip(lineNo, fmt.Errorf("missing \"kind\""))
+			continue
 		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("telemetry: read: %w", err)
+		return out, stats, fmt.Errorf("telemetry: read: %w", err)
 	}
-	return out, nil
+	return out, stats, nil
 }

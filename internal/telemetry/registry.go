@@ -144,6 +144,18 @@ func (m *MetricsSink) Emit(ev Event) {
 	case KLinkTx:
 		m.R.Inc(srcKey("link", ev.Src, "tx_packets"), 1)
 		m.R.Inc(srcKey("link", ev.Src, "tx_bytes"), uint64(ev.A))
+	case KLinkDown:
+		m.R.Inc(srcKey("link", ev.Src, "flaps"), 1)
+	case KLinkParam:
+		m.R.Inc(srcKey("link", ev.Src, "renegotiations"), 1)
+	case KFaultReorder:
+		m.R.Inc(srcKey("fault", ev.Src, "reordered"), 1)
+	case KFaultDup:
+		m.R.Inc(srcKey("fault", ev.Src, "duplicated"), 1)
+	case KAckCompress:
+		m.R.Inc(srcKey("fault", ev.Src, "ack_batches"), 1)
+	case KViolation:
+		m.R.Inc("invariant.violations", 1)
 	case KSchedProfile:
 		m.R.SetGauge("sim.events_processed", float64(ev.Seq))
 		m.R.SetGauge("sim.heap_depth", ev.A)

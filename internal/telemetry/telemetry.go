@@ -29,13 +29,17 @@ type Component uint8
 
 // Components, one per instrumented layer.
 const (
-	CompSim    Component = iota + 1 // the discrete-event scheduler
-	CompLink                        // a netem link
-	CompQueue                       // a netem queue discipline
-	CompLoss                        // a netem loss injector
-	CompSender                      // the shared TCP sender path
-	CompRecv                        // the TCP receiver
-	CompRR                          // the Robust Recovery state machine
+	CompSim       Component = iota + 1 // the discrete-event scheduler
+	CompLink                           // a netem link
+	CompQueue                          // a netem queue discipline
+	CompLoss                           // a netem loss injector
+	CompSender                         // the shared TCP sender path
+	CompRecv                           // the TCP receiver
+	CompRR                             // the Robust Recovery state machine
+	CompFault                          // a fault injector (internal/faults)
+	CompInvariant                      // the runtime invariant checker
+
+	compSentinel // keep last
 )
 
 // String implements fmt.Stringer.
@@ -55,6 +59,10 @@ func (c Component) String() string {
 		return "recv"
 	case CompRR:
 		return "rr"
+	case CompFault:
+		return "fault"
+	case CompInvariant:
+		return "invariant"
 	default:
 		return "?"
 	}
@@ -63,7 +71,7 @@ func (c Component) String() string {
 // ParseComponent is the inverse of Component.String; unknown names
 // return 0.
 func ParseComponent(s string) Component {
-	for c := CompSim; c <= CompRR; c++ {
+	for c := CompSim; c < compSentinel; c++ {
 		if c.String() == s {
 			return c
 		}
@@ -101,6 +109,17 @@ const (
 
 	// Scheduler profiling.
 	KSchedProfile // Seq=events processed, A=heap depth, B=wall-sec per sim-sec
+
+	// Fault-injection events (internal/faults and the netem hook points).
+	KLinkDown     // link carrier lost (flap begins)
+	KLinkUp       // link carrier restored (flap ends)
+	KLinkParam    // mid-flow renegotiation (A=bandwidth bps, B=delay seconds)
+	KFaultReorder // packet held back for out-of-order delivery (A=extra delay s)
+	KFaultDup     // packet duplicated in flight
+	KAckCompress  // held ACK batch released back-to-back (A=batch size)
+
+	// Invariant checking.
+	KViolation // runtime invariant violated (Src=rule name)
 
 	kindSentinel // keep last
 )
@@ -144,6 +163,20 @@ func (k Kind) String() string {
 		return "link-tx"
 	case KSchedProfile:
 		return "sched"
+	case KLinkDown:
+		return "link-down"
+	case KLinkUp:
+		return "link-up"
+	case KLinkParam:
+		return "link-param"
+	case KFaultReorder:
+		return "reorder"
+	case KFaultDup:
+		return "dup-inject"
+	case KAckCompress:
+		return "ack-compress"
+	case KViolation:
+		return "violation"
 	default:
 		return "?"
 	}
@@ -183,6 +216,12 @@ func (k Kind) attrNames() (a, b string) {
 		return "bytes", "qlen"
 	case KSchedProfile:
 		return "pending", "wall_per_sim_s"
+	case KLinkParam:
+		return "bps", "delay_s"
+	case KFaultReorder:
+		return "delay_s", ""
+	case KAckCompress:
+		return "batch", ""
 	default:
 		return "", ""
 	}

@@ -1,0 +1,70 @@
+package workload_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/workload"
+)
+
+// TestEveryVariantSurvivesEveryLossRegime is the liveness table: each
+// TCP variant must complete a bounded transfer under each loss injector
+// within a generous simulated-time bound. A variant that wedges under
+// any regime — burst loss, random loss, correlated loss — fails its row.
+func TestEveryVariantSurvivesEveryLossRegime(t *testing.T) {
+	const (
+		bytes = 150 * 1000
+		bound = sim.Time(120 * time.Second)
+	)
+	regimes := []struct {
+		name string
+		loss func(sched *sim.Scheduler) netem.Node
+	}{
+		{"clean", func(*sim.Scheduler) netem.Node { return nil }},
+		{"burst3", func(*sim.Scheduler) netem.Node {
+			sl := netem.NewSeqLoss(nil)
+			// A 3-packet burst, with the first retransmission of the lead
+			// segment lost too — the paper's timeout-path stressor.
+			sl.Drop(0, 20*1000, 21*1000, 22*1000)
+			sl.DropRetransmit(0, 20*1000)
+			return sl
+		}},
+		{"uniform5pct", func(sched *sim.Scheduler) netem.Node {
+			return netem.NewUniformLoss(0.05, sched.DeriveRand("loss"), nil)
+		}},
+		{"gilbert", func(sched *sim.Scheduler) netem.Node {
+			return netem.NewGilbertLoss(0.02, 0.3, 0.5, sched.DeriveRand("loss"), nil)
+		}},
+	}
+
+	for _, regime := range regimes {
+		for _, kind := range workload.Kinds() {
+			t.Run(fmt.Sprintf("%s/%v", regime.name, kind), func(t *testing.T) {
+				sched := sim.NewScheduler(1)
+				dcfg := netem.PaperDropTailConfig(1)
+				dcfg.Loss = regime.loss(sched)
+				d, err := netem.NewDumbbell(sched, dcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				flow, err := workload.Install(sched, d, 0, workload.FlowSpec{
+					Kind:   kind,
+					Bytes:  bytes,
+					Window: 64,
+					OnDone: func() { sched.Stop() },
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sched.Run(bound)
+				if !flow.Sender.Done() {
+					t.Fatalf("%v did not finish %d bytes under %s within %v (una=%d)",
+						kind, bytes, regime.name, time.Duration(bound), flow.Sender.SndUna())
+				}
+			})
+		}
+	}
+}

@@ -133,6 +133,9 @@ type FlowSpec struct {
 	SmoothStart bool
 	// RROptions, for Kind == RR, applies ablation knobs.
 	RROptions *core.Options
+	// Strategy, when non-nil, overrides Kind entirely — the escape hatch
+	// for custom or deliberately broken strategies (chaos testing).
+	Strategy tcp.Strategy
 	// Telemetry, when non-nil, receives the flow's structured events
 	// (sender, receiver, and recovery state machine).
 	Telemetry *telemetry.Bus
@@ -150,6 +153,9 @@ type Flow struct {
 
 // NewStrategy instantiates the strategy for a spec.
 func (s FlowSpec) NewStrategy() (tcp.Strategy, error) {
+	if s.Strategy != nil {
+		return s.Strategy, nil
+	}
 	switch s.Kind {
 	case Tahoe:
 		return tcp.NewTahoe(), nil

@@ -24,6 +24,8 @@ import (
 
 	"rrtcp/internal/core"
 	"rrtcp/internal/experiments"
+	"rrtcp/internal/faults"
+	"rrtcp/internal/invariant"
 	"rrtcp/internal/model"
 	"rrtcp/internal/netem"
 	"rrtcp/internal/scenario"
@@ -96,18 +98,27 @@ func NewGilbertLoss(s *Scheduler, pGoodToBad, pBadToGood, pDropBad float64) *Gil
 // QueueDiscipline is a gateway buffer policy (drop-tail or RED).
 type QueueDiscipline = netem.QueueDiscipline
 
-// NewDropTailQueue returns a finite FIFO measured in packets.
-func NewDropTailQueue(limit int) QueueDiscipline { return netem.NewDropTail(limit) }
+// NewDropTailQueue returns a finite FIFO measured in packets, or an
+// error for a non-positive limit.
+func NewDropTailQueue(limit int) (QueueDiscipline, error) { return netem.NewDropTail(limit) }
 
-// NewDRRQueue returns a deficit-round-robin fair queue.
-func NewDRRQueue(quantumBytes, limitPackets int) QueueDiscipline {
+// NewDRRQueue returns a deficit-round-robin fair queue, or an error for
+// non-positive quantum or limit.
+func NewDRRQueue(quantumBytes, limitPackets int) (QueueDiscipline, error) {
 	return netem.NewDRR(quantumBytes, limitPackets)
 }
 
 // NewREDQueue returns a RED gateway queue whose drop decisions draw
-// from the scheduler's deterministic random source.
-func NewREDQueue(s *Scheduler, cfg REDConfig) QueueDiscipline {
+// from the scheduler's deterministic random source, or an error for an
+// unusable configuration (see netem.NewRED).
+func NewREDQueue(s *Scheduler, cfg REDConfig) (QueueDiscipline, error) {
 	return netem.NewRED(cfg, s.Rand())
+}
+
+// MustQueue unwraps a queue-constructor result, panicking on error —
+// for call sites with constant, known-valid parameters.
+func MustQueue(q QueueDiscipline, err error) QueueDiscipline {
+	return netem.Must(q, err)
 }
 
 // NewDumbbell builds the Figure 4 topology.
@@ -285,6 +296,18 @@ type (
 	BurstyResult = experiments.BurstyResult
 	// AblationResult: RR design-choice matrix.
 	AblationResult = experiments.AblationResult
+	// ChaosConfig / ChaosResult: seeded-random fault sweep with runtime
+	// invariant checking; ChaosCase and ChaosBundle are the replayable
+	// units behind repro bundles.
+	ChaosConfig = experiments.ChaosConfig
+	ChaosResult = experiments.ChaosResult
+	ChaosCase   = experiments.ChaosCase
+	ChaosBundle = experiments.Bundle
+	// FaultPlan is a serializable fault schedule (link flaps, reordering,
+	// duplication, corruption, ACK compression) for a netem topology.
+	FaultPlan = faults.PlanSpec
+	// InvariantViolation is one runtime TCP-invariant breach.
+	InvariantViolation = invariant.Violation
 )
 
 // RunFigure5 regenerates one Figure 5 panel.
@@ -339,3 +362,23 @@ func LoadScenarioFile(path string) (*Scenario, error) { return scenario.LoadFile
 
 // RunAblation runs the RR design ablation matrix.
 func RunAblation(drops int) (*AblationResult, error) { return experiments.Ablation(drops) }
+
+// --- chaos / robustness ---
+
+// RunChaos sweeps seeded-random fault schedules across the TCP
+// variants under runtime invariant checking.
+func RunChaos(cfg ChaosConfig) (*ChaosResult, error) { return experiments.Chaos(cfg) }
+
+// RunChaosCase replays one chaos case (e.g. from a repro bundle).
+func RunChaosCase(c ChaosCase) (*experiments.ChaosOutcome, error) {
+	return experiments.RunChaosCase(c)
+}
+
+// LoadChaosBundle reads a repro bundle written by a chaos sweep.
+func LoadChaosBundle(path string) (*ChaosBundle, error) { return experiments.LoadBundle(path) }
+
+// ReplayChaosBundle re-runs a bundle's case and verifies the stored
+// violation reproduces exactly.
+func ReplayChaosBundle(b *ChaosBundle) (*experiments.ChaosOutcome, error) {
+	return experiments.ReplayBundle(b)
+}

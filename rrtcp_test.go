@@ -75,7 +75,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() (int64, uint64, uint64) {
 		sched := rrtcp.NewScheduler(11)
 		cfg := rrtcp.PaperDropTailConfig(4)
-		cfg.ForwardQueue = rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig())
+		cfg.ForwardQueue = rrtcp.MustQueue(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
 		d, err := rrtcp.NewDumbbell(sched, cfg)
 		if err != nil {
 			t.Fatalf("dumbbell: %v", err)
@@ -129,14 +129,20 @@ func TestStrategyConstructors(t *testing.T) {
 
 func TestFacadeQueueConstructors(t *testing.T) {
 	sched := rrtcp.NewScheduler(1)
-	if q := rrtcp.NewDropTailQueue(8); q == nil || q.Len() != 0 {
-		t.Fatal("drop-tail constructor")
+	if q, err := rrtcp.NewDropTailQueue(8); err != nil || q == nil || q.Len() != 0 {
+		t.Fatalf("drop-tail constructor: %v", err)
 	}
-	if q := rrtcp.NewDRRQueue(500, 8); q == nil || q.Len() != 0 {
-		t.Fatal("DRR constructor")
+	if q, err := rrtcp.NewDRRQueue(500, 8); err != nil || q == nil || q.Len() != 0 {
+		t.Fatalf("DRR constructor: %v", err)
 	}
-	if q := rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()); q == nil || q.Len() != 0 {
-		t.Fatal("RED constructor")
+	if q, err := rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()); err != nil || q == nil || q.Len() != 0 {
+		t.Fatalf("RED constructor: %v", err)
+	}
+	if _, err := rrtcp.NewDropTailQueue(0); err == nil {
+		t.Fatal("drop-tail accepted zero limit")
+	}
+	if _, err := rrtcp.NewDRRQueue(0, 8); err == nil {
+		t.Fatal("DRR accepted zero quantum")
 	}
 }
 

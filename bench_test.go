@@ -282,7 +282,7 @@ func BenchmarkEndToEndSimulationThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sched := rrtcp.NewScheduler(1)
 		cfg := rrtcp.PaperDropTailConfig(10)
-		cfg.ForwardQueue = rrtcp.MustQueue(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
+		cfg.ForwardQueue = rrtcp.Must(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
 		d, err := rrtcp.NewDumbbell(sched, cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -412,7 +412,7 @@ func benchVariantTransfer(b *testing.B, kind rrtcp.Kind) {
 	var delay float64
 	for i := 0; i < b.N; i++ {
 		sched := rrtcp.NewScheduler(1)
-		loss := rrtcp.NewSeqLoss()
+		loss := rrtcp.NewSeqLoss(sched)
 		loss.Drop(0, 60*1000, 61*1000, 63*1000)
 		cfg := rrtcp.PaperDropTailConfig(1)
 		cfg.Loss = loss

@@ -1,22 +1,28 @@
 // Command rrsim regenerates the tables and figures of "Robust TCP
 // Congestion Recovery" (Wang & Shin, ICDCS 2001).
 //
-// Usage:
+// Every experiment is a named entry in the rrtcp experiment registry;
+// rrsim derives its dispatch table and usage text from it:
 //
-//	rrsim fig5 [-drops n]     Figure 5: drop-tail burst-loss throughput
-//	rrsim fig6 [-seed n]      Figure 6: RED-gateway sequence traces
-//	rrsim fig7 [-quick]       Figure 7: square-root-model fitness
-//	rrsim table5              Table 5: fairness matrix
-//	rrsim ackloss             §2.3 ACK-loss robustness sweep
-//	rrsim fairshare           §2.3 fair-share gateways (FIFO vs DRR)
-//	rrsim twoway              two-way traffic extension
-//	rrsim smoothstart         slow-start overshoot vs Smooth-start [21]
-//	rrsim bursty              Gilbert-Elliott correlated-loss sweep
-//	rrsim run <file.json>     run a user-defined scenario (see examples/scenarios)
-//	rrsim ablation [-drops n] RR design-choice ablations
-//	rrsim chaos [-n n]        seeded-random fault sweep under invariant checking
-//	rrsim chaos -replay f     replay a violation repro bundle
-//	rrsim all [-quick]        everything above
+//	rrsim fig5 [-drops n]        Figure 5: drop-tail burst-loss throughput
+//	rrsim fig6 [-seed n]         Figure 6: RED-gateway sequence traces
+//	rrsim fig7 [-quick]          Figure 7: square-root-model fitness
+//	rrsim table5                 Table 5: fairness matrix
+//	rrsim ackloss                §2.3 ACK-loss robustness sweep
+//	rrsim fairshare              §2.3 fair-share gateways (FIFO vs DRR)
+//	rrsim twoway                 two-way traffic extension
+//	rrsim smoothstart            slow-start overshoot vs Smooth-start [21]
+//	rrsim bursty                 Gilbert-Elliott correlated-loss sweep
+//	rrsim ablation [-drops n]    RR design-choice ablations
+//	rrsim chaos [-runs n]        seeded-random fault sweep under invariant checking
+//	rrsim chaos -replay f        replay a violation repro bundle
+//	rrsim run <file.json>        run a user-defined scenario (see examples/scenarios)
+//	rrsim all [-quick]           everything above except chaos
+//
+// Independent runs inside an experiment fan out across a worker pool;
+// -parallel bounds the pool (0 = GOMAXPROCS, 1 = sequential) and the
+// output is byte-identical at any setting. -progress renders a live
+// status line on stderr.
 package main
 
 import (
@@ -25,7 +31,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"rrtcp"
 )
@@ -39,98 +44,163 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf(
-			"usage: rrsim {fig5|fig6|fig7|table5|ackloss|fairshare|twoway|smoothstart|bursty|ablation|chaos|run|all} [flags]")
+		return fmt.Errorf("%s", usage())
 	}
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var runs int
+	fs.IntVar(&runs, "runs", 100, "independent repetitions where the experiment takes a count (chaos: fault schedules)")
+	fs.IntVar(&runs, "n", 100, "deprecated alias for -runs")
 	drops := fs.Int("drops", 3, "packets lost within one window (fig5/ablation)")
 	seed := fs.Int64("seed", 0, "simulation seed (0 = experiment default)")
 	quick := fs.Bool("quick", false, "smaller sweeps for fast runs (fig7/all)")
-	variants := fs.String("variants", "", "comma-separated variant list (fig5), e.g. tahoe,rr,fack")
+	variants := fs.String("variants", "", "comma-separated variant list, e.g. tahoe,rr,fack")
 	delack := fs.Bool("delack", false, "run receivers with delayed ACKs (fig7)")
 	traceOut := fs.String("trace", "", "write flow 0's event trace as CSV to this file (run)")
 	events := fs.String("events", "", "stream structured telemetry as NDJSON to this file, for rrtrace (fig5/run)")
 	metrics := fs.Bool("metrics", false, "print the aggregated metrics snapshot to stderr (fig5/run)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
-	schedules := fs.Int("n", 100, "number of random fault schedules (chaos)")
 	bytes := fs.Int64("bytes", 0, "per-flow transfer size in bytes (chaos, 0 = default)")
 	horizon := fs.Duration("horizon", 0, "per-run simulated-time bound (chaos, 0 = default)")
 	bundles := fs.String("bundles", "", "directory for violation repro bundles (chaos)")
 	replay := fs.String("replay", "", "replay a repro bundle instead of sweeping (chaos)")
+	parallel := fs.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = sequential)")
+	progress := fs.Bool("progress", false, "render live sweep progress on stderr")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			fmt.Fprintln(os.Stderr, "rrsim: -n is deprecated; use -runs")
+		}
+	})
+
 	emit := renderText
 	if *asJSON {
 		emit = renderJSON
 	}
 
+	opts := rrtcp.ExperimentOptions{
+		Seed:       *seed,
+		Runs:       runs,
+		Drops:      *drops,
+		Quick:      *quick,
+		DelayedAck: *delack,
+		Bytes:      *bytes,
+		Horizon:    *horizon,
+		BundleDir:  *bundles,
+	}
+	if *variants != "" {
+		for _, name := range strings.Split(*variants, ",") {
+			kind, err := rrtcp.ParseKind(name)
+			if err != nil {
+				return err
+			}
+			opts.Variants = append(opts.Variants, kind)
+		}
+	}
+	runOpt := rrtcp.ExperimentRunOptions{Parallel: *parallel}
+	if *progress {
+		runOpt.Progress = rrtcp.NewTelemetryBus(rrtcp.NewProgressSink(os.Stderr))
+	}
+
 	switch cmd {
-	case "fig5":
-		return runFigure5(emit, *drops, *seed, *variants, *events, *metrics)
-	case "fig6":
-		return runFigure6(emit, *seed)
-	case "fig7":
-		return runFigure7(emit, *quick, *delack)
-	case "table5":
-		return runTable5(emit, *seed)
-	case "ackloss":
-		return runAckLoss(emit)
-	case "fairshare":
-		return runFairShare(emit)
-	case "twoway":
-		return runTwoWay(emit)
-	case "smoothstart":
-		return runSmoothStart(emit)
-	case "bursty":
-		return runBursty(emit)
 	case "run":
 		if fs.NArg() != 1 {
 			return fmt.Errorf("usage: rrsim run [-json] [-trace out.csv] [-events out.ndjson] [-metrics] <scenario.json>")
 		}
 		return runScenario(emit, fs.Arg(0), *traceOut, *events, *metrics)
-	case "ablation":
-		return runAblation(emit, *drops)
 	case "chaos":
 		if *replay != "" {
 			return runChaosReplay(*replay)
 		}
-		return runChaos(emit, *schedules, *seed, *variants, *bytes, *horizon, *bundles)
 	case "all":
-		for _, d := range []int{3, 6} {
-			if err := runFigure5(emit, d, *seed, *variants, "", false); err != nil {
+		return runAll(emit, opts, runOpt)
+	}
+	return runExperiment(cmd, emit, opts, runOpt, *events, *metrics)
+}
+
+// usage builds the top-level help text from the experiment registry.
+func usage() string {
+	var b strings.Builder
+	b.WriteString("usage: rrsim <experiment> [flags]\n\nexperiments:\n")
+	for _, r := range rrtcp.Experiments() {
+		fmt.Fprintf(&b, "  %-12s %s\n", r.Name, r.Desc)
+	}
+	b.WriteString("  run <file>   run a user-defined scenario (see examples/scenarios)\n")
+	b.WriteString("  all          every experiment above except chaos")
+	return b.String()
+}
+
+// runExperiment builds a registered experiment from the shared options,
+// executes it on the sweep pool, and emits the result. Results that
+// report invariant violations (chaos) turn into a non-zero exit.
+func runExperiment(name string, emit renderer, opts rrtcp.ExperimentOptions,
+	runOpt rrtcp.ExperimentRunOptions, events string, metrics bool) error {
+	bus, finish, err := telemetrySetup(events, metrics)
+	if err != nil {
+		return err
+	}
+	opts.Telemetry = bus
+	res, err := buildAndRun(name, opts, runOpt)
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	if err := emit(res.Render(), res); err != nil {
+		return err
+	}
+	if v, ok := res.(interface{ Violated() int }); ok {
+		if n := v.Violated(); n > 0 {
+			return fmt.Errorf("%s: %d invariant violation(s)", name, n)
+		}
+	}
+	return nil
+}
+
+func buildAndRun(name string, opts rrtcp.ExperimentOptions,
+	runOpt rrtcp.ExperimentRunOptions) (rrtcp.ExperimentResult, error) {
+	e, err := rrtcp.BuildExperiment(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rrtcp.RunExperiment(e, runOpt)
+}
+
+// runAll reproduces the whole evaluation: every registered experiment
+// in canonical order, with fig5 at both burst sizes the paper plots.
+// The chaos sweep is skipped — it is a robustness harness, not a paper
+// figure.
+func runAll(emit renderer, opts rrtcp.ExperimentOptions, runOpt rrtcp.ExperimentRunOptions) error {
+	for _, r := range rrtcp.Experiments() {
+		switch r.Name {
+		case "chaos":
+			continue
+		case "fig5":
+			for _, d := range []int{3, 6} {
+				o := opts
+				o.Drops = d
+				res, err := buildAndRun(r.Name, o, runOpt)
+				if err != nil {
+					return err
+				}
+				if err := emit(res.Render(), res); err != nil {
+					return err
+				}
+			}
+		default:
+			res, err := buildAndRun(r.Name, opts, runOpt)
+			if err != nil {
+				return err
+			}
+			if err := emit(res.Render(), res); err != nil {
 				return err
 			}
 		}
-		if err := runFigure6(emit, *seed); err != nil {
-			return err
-		}
-		if err := runFigure7(emit, *quick, *delack); err != nil {
-			return err
-		}
-		if err := runTable5(emit, *seed); err != nil {
-			return err
-		}
-		if err := runAckLoss(emit); err != nil {
-			return err
-		}
-		if err := runFairShare(emit); err != nil {
-			return err
-		}
-		if err := runTwoWay(emit); err != nil {
-			return err
-		}
-		if err := runSmoothStart(emit); err != nil {
-			return err
-		}
-		if err := runBursty(emit); err != nil {
-			return err
-		}
-		return runAblation(emit, *drops)
-	default:
-		return fmt.Errorf("unknown command %q", cmd)
 	}
+	return nil
 }
 
 // renderer emits one experiment result.
@@ -145,32 +215,6 @@ func renderJSON(_ string, result any) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(result)
-}
-
-func runFigure5(emit renderer, drops int, seed int64, variants, events string, metrics bool) error {
-	cfg := rrtcp.Figure5Config{Drops: drops, Seed: seed}
-	if variants != "" {
-		for _, name := range strings.Split(variants, ",") {
-			kind, err := rrtcp.ParseKind(name)
-			if err != nil {
-				return err
-			}
-			cfg.Variants = append(cfg.Variants, kind)
-		}
-	}
-	bus, finish, err := telemetrySetup(events, metrics)
-	if err != nil {
-		return err
-	}
-	cfg.Telemetry = bus
-	res, err := rrtcp.RunFigure5(cfg)
-	if ferr := finish(); err == nil {
-		err = ferr
-	}
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
 }
 
 // telemetrySetup builds the bus behind -events and -metrics. The
@@ -213,76 +257,6 @@ func telemetrySetup(eventsPath string, metrics bool) (*rrtcp.TelemetryBus, func(
 	return rrtcp.NewTelemetryBus(sinks...), finish, nil
 }
 
-func runFigure6(emit renderer, seed int64) error {
-	res, err := rrtcp.RunFigure6(rrtcp.Figure6Config{Seed: seed})
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
-func runFigure7(emit renderer, quick, delack bool) error {
-	cfg := rrtcp.Figure7Config{DelayedAck: delack}
-	if quick {
-		cfg.LossRates = []float64{0.001, 0.01, 0.05, 0.1}
-		cfg.Duration = 30 * time.Second
-		cfg.Seeds = []int64{1}
-	}
-	res, err := rrtcp.RunFigure7(cfg)
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
-func runTable5(emit renderer, seed int64) error {
-	res, err := rrtcp.RunTable5(rrtcp.Table5Config{Seed: seed})
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
-func runAckLoss(emit renderer) error {
-	res, err := rrtcp.RunAckLoss(rrtcp.AckLossConfig{})
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
-func runFairShare(emit renderer) error {
-	res, err := rrtcp.RunFairShare(rrtcp.FairShareConfig{})
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
-func runTwoWay(emit renderer) error {
-	res, err := rrtcp.RunTwoWay(rrtcp.TwoWayConfig{})
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
-func runSmoothStart(emit renderer) error {
-	res, err := rrtcp.RunSmoothStart(rrtcp.SmoothStartConfig{})
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
-func runBursty(emit renderer) error {
-	res, err := rrtcp.RunBursty(rrtcp.BurstyConfig{})
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
-}
-
 func runScenario(emit renderer, path, traceOut, events string, metrics bool) error {
 	spec, err := rrtcp.LoadScenarioFile(path)
 	if err != nil {
@@ -322,36 +296,6 @@ func runScenario(emit renderer, path, traceOut, events string, metrics bool) err
 	return emit(rep.RenderText(), rep)
 }
 
-func runChaos(emit renderer, schedules int, seed int64, variants string, bytes int64, horizon time.Duration, bundles string) error {
-	cfg := rrtcp.ChaosConfig{
-		Schedules: schedules,
-		Seed:      seed,
-		Bytes:     bytes,
-		Horizon:   horizon,
-		BundleDir: bundles,
-	}
-	if variants != "" {
-		for _, name := range strings.Split(variants, ",") {
-			kind, err := rrtcp.ParseKind(name)
-			if err != nil {
-				return err
-			}
-			cfg.Variants = append(cfg.Variants, kind)
-		}
-	}
-	res, err := rrtcp.RunChaos(cfg)
-	if err != nil {
-		return err
-	}
-	if err := emit(res.Render(), res); err != nil {
-		return err
-	}
-	if n := res.Violated(); n > 0 {
-		return fmt.Errorf("chaos: %d invariant violation(s)", n)
-	}
-	return nil
-}
-
 func runChaosReplay(path string) error {
 	b, err := rrtcp.LoadChaosBundle(path)
 	if err != nil {
@@ -364,12 +308,4 @@ func runChaosReplay(path string) error {
 	fmt.Printf("bundle %s reproduced:\n  case: %s seed=%d\n  violation: %s\n  (%d violations total, finished=%v)\n",
 		path, b.Case.Variant, b.Case.Seed, out.Violations[0], len(out.Violations), out.Finished)
 	return nil
-}
-
-func runAblation(emit renderer, drops int) error {
-	res, err := rrtcp.RunAblation(drops)
-	if err != nil {
-		return err
-	}
-	return emit(res.Render(), res)
 }

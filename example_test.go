@@ -12,7 +12,7 @@ import (
 func Example() {
 	sched := rrtcp.NewScheduler(1)
 
-	loss := rrtcp.NewSeqLoss()
+	loss := rrtcp.NewSeqLoss(sched)
 	loss.Drop(0, 60*1000, 61*1000, 62*1000)
 
 	cfg := rrtcp.PaperDropTailConfig(1)
@@ -46,7 +46,7 @@ func Example() {
 func ExampleInstallFlow() {
 	for _, kind := range []rrtcp.Kind{rrtcp.NewReno, rrtcp.RR} {
 		sched := rrtcp.NewScheduler(1)
-		loss := rrtcp.NewSeqLoss()
+		loss := rrtcp.NewSeqLoss(sched)
 		loss.Drop(0, 60*1000, 61*1000, 62*1000, 63*1000)
 		cfg := rrtcp.PaperDropTailConfig(1)
 		cfg.Loss = loss

@@ -44,7 +44,7 @@ func raceBurst(opts *rrtcp.RROptions) (time.Duration, uint64, error) {
 	sched := rrtcp.NewScheduler(1)
 	// Lose four packets from one window plus one packet sent during
 	// recovery itself — the further-loss case RR was designed for.
-	loss := rrtcp.NewSeqLoss()
+	loss := rrtcp.NewSeqLoss(sched)
 	for _, pk := range []int64{60, 61, 63, 64, 75} {
 		loss.Drop(0, pk*1000)
 	}

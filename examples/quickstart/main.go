@@ -22,7 +22,7 @@ func run() error {
 	sched := rrtcp.NewScheduler(1)
 
 	// Drop packets 60, 61, and 62 — a burst within one window of data.
-	loss := rrtcp.NewSeqLoss()
+	loss := rrtcp.NewSeqLoss(sched)
 	loss.Drop(0, 60*1000, 61*1000, 62*1000)
 
 	// The Figure 4 dumbbell with Table 3 parameters: 0.8 Mbps

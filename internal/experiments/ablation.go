@@ -7,6 +7,7 @@ import (
 	"rrtcp/internal/core"
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/trace"
 	"rrtcp/internal/workload"
 )
@@ -55,22 +56,63 @@ type AblationResult struct {
 // injected during recovery so the further-loss machinery is exercised)
 // once per design variant.
 func Ablation(drops int) (*AblationResult, error) {
+	res, err := Run(NewAblationExperiment(drops), RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*AblationResult), nil
+}
+
+// AblationExperiment adapts the design-choice matrix to the Experiment
+// interface: one job per variant, all on the same engineered scenario.
+type AblationExperiment struct {
+	drops int
+}
+
+// NewAblationExperiment returns the experiment (drops <= 0 means 3).
+func NewAblationExperiment(drops int) *AblationExperiment {
 	if drops <= 0 {
 		drops = 3
 	}
-	res := &AblationResult{Drops: drops}
-	for _, v := range AblationVariants() {
-		row, err := ablationRun(drops, v)
-		if err != nil {
-			return nil, fmt.Errorf("ablation (%s): %w", v.Label, err)
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
+	return &AblationExperiment{drops: drops}
 }
 
-func ablationRun(drops int, v AblationVariant) (AblationRow, error) {
-	sched := sim.NewScheduler(1)
+// Name implements Experiment.
+func (e *AblationExperiment) Name() string { return "ablation" }
+
+// Jobs implements Experiment.
+func (e *AblationExperiment) Jobs() ([]sweep.Job, error) {
+	drops := e.drops
+	var jobs []sweep.Job
+	for _, v := range AblationVariants() {
+		jobs = append(jobs, sweep.Job{
+			Name: v.Label,
+			// The scenario is fully engineered; every variant runs the
+			// same fixed seed so rows differ only by the design knob.
+			Seed: 1,
+			Run: func(seed int64) (any, error) {
+				row, err := ablationRun(drops, v, seed)
+				if err != nil {
+					return nil, fmt.Errorf("ablation (%s): %w", v.Label, err)
+				}
+				return row, nil
+			},
+		})
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment.
+func (e *AblationExperiment) Reduce(results []any) (Renderable, error) {
+	rows, err := sweep.Collect[AblationRow](results)
+	if err != nil {
+		return nil, err
+	}
+	return &AblationResult{Drops: e.drops, Rows: rows}, nil
+}
+
+func ablationRun(drops int, v AblationVariant, seed int64) (AblationRow, error) {
+	sched := sim.NewScheduler(seed)
 	loss := netem.NewSeqLoss(nil)
 	const mss = int64(1000)
 	for i := 0; i < drops; i++ {

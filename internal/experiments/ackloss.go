@@ -6,6 +6,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/workload"
 )
 
@@ -25,6 +26,8 @@ type AckLossConfig struct {
 	TransferPackets int `json:"transferPackets"`
 	// Seeds to average over.
 	Seeds []int64 `json:"seeds"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *AckLossConfig) fillDefaults() {
@@ -68,22 +71,80 @@ type AckLossResult struct {
 
 // AckLoss runs the ACK-loss robustness sweep.
 func AckLoss(cfg AckLossConfig) (*AckLossResult, error) {
+	res, err := Run(NewAckLossExperiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*AckLossResult), nil
+}
+
+// AckLossExperiment adapts the ACK-loss sweep to the Experiment
+// interface: one job per (variant, ACK-loss rate, seed) cell.
+type AckLossExperiment struct {
+	cfg AckLossConfig
+}
+
+// NewAckLossExperiment fills defaults and returns the experiment.
+func NewAckLossExperiment(cfg AckLossConfig) *AckLossExperiment {
 	cfg.fillDefaults()
+	return &AckLossExperiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *AckLossExperiment) Name() string { return "ackloss" }
+
+// ackLossOut is one (variant, rate, seed) run's raw measurement.
+type ackLossOut struct {
+	Delay    sim.Time
+	Timeouts uint64
+	Finished bool
+}
+
+// Jobs implements Experiment.
+func (e *AckLossExperiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
+	for _, kind := range cfg.Variants {
+		for _, rate := range cfg.AckLossRates {
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, sweep.Job{
+					Name: fmt.Sprintf("%v ackloss=%g seed=%d", kind, rate, seed),
+					Seed: seed,
+					Run: func(seed int64) (any, error) {
+						delay, timeouts, finished, err := ackLossRun(cfg, kind, rate, seed)
+						if err != nil {
+							return nil, fmt.Errorf("ack loss (%v, %g): %w", kind, rate, err)
+						}
+						return ackLossOut{Delay: delay, Timeouts: timeouts, Finished: finished}, nil
+					},
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment.
+func (e *AckLossExperiment) Reduce(results []any) (Renderable, error) {
+	outs, err := sweep.Collect[ackLossOut](results)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
 	res := &AckLossResult{Config: cfg}
+	i := 0
 	for _, kind := range cfg.Variants {
 		for _, rate := range cfg.AckLossRates {
 			pt := AckLossPoint{Variant: kind, AckLossRate: rate, Runs: len(cfg.Seeds)}
 			var delaySum sim.Time
 			var timeoutSum float64
-			for _, seed := range cfg.Seeds {
-				delay, timeouts, finished, err := ackLossRun(cfg, kind, rate, seed)
-				if err != nil {
-					return nil, fmt.Errorf("ack loss (%v, %g): %w", kind, rate, err)
-				}
-				timeoutSum += float64(timeouts)
-				if finished {
+			for range cfg.Seeds {
+				out := outs[i]
+				i++
+				timeoutSum += float64(out.Timeouts)
+				if out.Finished {
 					pt.Completed++
-					delaySum += delay
+					delaySum += out.Delay
 				}
 			}
 			if pt.Completed > 0 {

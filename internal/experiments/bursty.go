@@ -6,6 +6,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/workload"
 )
@@ -27,6 +28,8 @@ type BurstyConfig struct {
 	Duration sim.Time `json:"durationNs"`
 	// Seeds to average over.
 	Seeds []int64 `json:"seeds"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *BurstyConfig) fillDefaults() {
@@ -67,18 +70,74 @@ type BurstyResult struct {
 // Bursty runs the sweep on the Figure 7 fixed-RTT topology so goodput
 // differences come only from the loss process and the recovery scheme.
 func Bursty(cfg BurstyConfig) (*BurstyResult, error) {
+	res, err := Run(NewBurstyExperiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*BurstyResult), nil
+}
+
+// BurstyExperiment adapts the correlated-loss sweep to the Experiment
+// interface: one job per (variant, burst length, seed) cell.
+type BurstyExperiment struct {
+	cfg BurstyConfig
+}
+
+// NewBurstyExperiment fills defaults and returns the experiment.
+func NewBurstyExperiment(cfg BurstyConfig) *BurstyExperiment {
 	cfg.fillDefaults()
+	return &BurstyExperiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *BurstyExperiment) Name() string { return "bursty" }
+
+// burstyOut is one (variant, burst, seed) run's raw measurement.
+type burstyOut struct {
+	GoodputBps float64
+	Timeouts   uint64
+}
+
+// Jobs implements Experiment.
+func (e *BurstyExperiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
+	for _, kind := range cfg.Variants {
+		for _, burst := range cfg.BurstLengths {
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, sweep.Job{
+					Name: fmt.Sprintf("%v L=%g seed=%d", kind, burst, seed),
+					Seed: seed,
+					Run: func(seed int64) (any, error) {
+						gp, to, err := burstyRun(cfg, kind, burst, seed)
+						if err != nil {
+							return nil, fmt.Errorf("bursty (%v, L=%g): %w", kind, burst, err)
+						}
+						return burstyOut{GoodputBps: gp, Timeouts: to}, nil
+					},
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment.
+func (e *BurstyExperiment) Reduce(results []any) (Renderable, error) {
+	outs, err := sweep.Collect[burstyOut](results)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
 	res := &BurstyResult{Config: cfg}
+	i := 0
 	for _, kind := range cfg.Variants {
 		for _, burst := range cfg.BurstLengths {
 			var goodputSum, timeoutSum float64
-			for _, seed := range cfg.Seeds {
-				gp, to, err := burstyRun(cfg, kind, burst, seed)
-				if err != nil {
-					return nil, fmt.Errorf("bursty (%v, L=%g): %w", kind, burst, err)
-				}
-				goodputSum += gp
-				timeoutSum += float64(to)
+			for range cfg.Seeds {
+				goodputSum += outs[i].GoodputBps
+				timeoutSum += float64(outs[i].Timeouts)
+				i++
 			}
 			n := float64(len(cfg.Seeds))
 			res.Points = append(res.Points, BurstyPoint{

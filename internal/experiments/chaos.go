@@ -13,6 +13,7 @@ import (
 	"rrtcp/internal/invariant"
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/telemetry"
 	"rrtcp/internal/workload"
@@ -177,6 +178,8 @@ type ChaosConfig struct {
 	Horizon sim.Time `json:"horizonNs"`
 	// BundleDir, when set, receives a repro bundle per violating case.
 	BundleDir string `json:"bundleDir,omitempty"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *ChaosConfig) fillDefaults() {
@@ -228,51 +231,117 @@ func (r *ChaosResult) Violated() int { return len(r.Failures) }
 // generated once and run against every variant, so a violation isolates
 // to the variant rather than the weather.
 func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
+	res, err := Run(NewChaosExperiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*ChaosResult), nil
+}
+
+// ChaosExperiment adapts the chaos sweep to the Experiment interface.
+// Every case — the fault plan and the case seed — is drawn from the
+// master randomness up front, during construction, so the job list is
+// fixed before any worker starts and the sweep stays deterministic at
+// any worker count. One job per (schedule, variant) case.
+type ChaosExperiment struct {
+	cfg   ChaosConfig
+	cases []ChaosCase
+}
+
+// NewChaosExperiment fills defaults, generates every case, and returns
+// the experiment.
+func NewChaosExperiment(cfg ChaosConfig) *ChaosExperiment {
 	cfg.fillDefaults()
-	res := &ChaosResult{Config: cfg}
 	master := rand.New(rand.NewSource(cfg.Seed))
 	dcfg := netem.PaperDropTailConfig(1)
-
-	stats := make([]ChaosVariantStats, len(cfg.Variants))
-	for i, v := range cfg.Variants {
-		stats[i] = ChaosVariantStats{Variant: v}
-	}
-
+	e := &ChaosExperiment{cfg: cfg}
 	for s := 0; s < cfg.Schedules; s++ {
 		plan := faults.RandomPlanSpec(master, cfg.Horizon, dcfg)
 		caseSeed := master.Int63()
-		for i, v := range cfg.Variants {
-			c := ChaosCase{
+		for _, v := range cfg.Variants {
+			e.cases = append(e.cases, ChaosCase{
 				Variant: v.String(),
 				Seed:    caseSeed,
 				Bytes:   cfg.Bytes,
 				Horizon: faults.Duration(cfg.Horizon),
 				Plan:    plan,
-			}
-			out, err := RunChaosCase(c)
-			if err != nil {
-				return nil, fmt.Errorf("chaos: schedule %d, %v: %w", s, v, err)
-			}
-			stats[i].Runs++
-			if out.Finished {
-				stats[i].Finished++
-			}
-			if len(out.Violations) > 0 {
-				stats[i].Violated++
-				f := ChaosFailure{Case: c, Violation: out.Violations[0]}
-				if cfg.BundleDir != "" {
-					path, err := WriteBundle(cfg.BundleDir, &Bundle{
-						Case:      c,
-						Violation: out.Violations[0],
-						Events:    out.Events,
-					})
-					if err != nil {
-						return nil, err
-					}
-					f.Bundle = path
+			})
+		}
+	}
+	return e
+}
+
+// Name implements Experiment.
+func (e *ChaosExperiment) Name() string { return "chaos" }
+
+// chaosOut is one case's outcome; the event tail is kept only for
+// violating runs, where a bundle may need it.
+type chaosOut struct {
+	Finished   bool
+	Violations []invariant.Violation
+	Events     []telemetry.Event
+}
+
+// Jobs implements Experiment.
+func (e *ChaosExperiment) Jobs() ([]sweep.Job, error) {
+	variants := len(e.cfg.Variants)
+	jobs := make([]sweep.Job, len(e.cases))
+	for i, c := range e.cases {
+		jobs[i] = sweep.Job{
+			Name: fmt.Sprintf("s%d %s", i/variants, c.Variant),
+			Seed: c.Seed,
+			Run: func(int64) (any, error) {
+				out, err := RunChaosCase(c)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: schedule %d, %s: %w", i/variants, c.Variant, err)
 				}
-				res.Failures = append(res.Failures, f)
+				o := chaosOut{Finished: out.Finished, Violations: out.Violations}
+				if len(out.Violations) > 0 {
+					o.Events = out.Events
+				}
+				return o, nil
+			},
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment: per-variant stats accumulate in case
+// order and repro bundles are written sequentially here, never from a
+// worker goroutine.
+func (e *ChaosExperiment) Reduce(results []any) (Renderable, error) {
+	outs, err := sweep.Collect[chaosOut](results)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
+	res := &ChaosResult{Config: cfg}
+	stats := make([]ChaosVariantStats, len(cfg.Variants))
+	for i, v := range cfg.Variants {
+		stats[i] = ChaosVariantStats{Variant: v}
+	}
+	for idx, out := range outs {
+		i := idx % len(cfg.Variants)
+		c := e.cases[idx]
+		stats[i].Runs++
+		if out.Finished {
+			stats[i].Finished++
+		}
+		if len(out.Violations) > 0 {
+			stats[i].Violated++
+			f := ChaosFailure{Case: c, Violation: out.Violations[0]}
+			if cfg.BundleDir != "" {
+				path, err := WriteBundle(cfg.BundleDir, &Bundle{
+					Case:      c,
+					Violation: out.Violations[0],
+					Events:    out.Events,
+				})
+				if err != nil {
+					return nil, err
+				}
+				f.Bundle = path
 			}
+			res.Failures = append(res.Failures, f)
 		}
 	}
 	res.Stats = stats

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"rrtcp/internal/workload"
+)
+
+// BenchmarkChaosSweep measures the chaos fault sweep at increasing
+// worker counts. On a multi-core machine the 4-worker case should run
+// at least 2x faster than sequential; the merged result is
+// byte-identical regardless (see determinism_test.go).
+func BenchmarkChaosSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := NewChaosExperiment(ChaosConfig{
+					Schedules: 4,
+					Seed:      7,
+					Variants:  []workload.Kind{workload.SACK, workload.RR, workload.LinKung, workload.FACK},
+					Bytes:     100 * 1000,
+					Horizon:   60 * time.Second,
+				})
+				if _, err := Run(e, RunOptions{Parallel: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,14 @@
 // scenario from the substrate packages, executes it deterministically,
 // and returns structured results with a text rendering that mirrors
 // what the paper reports.
+//
+// Every runner implements the Experiment interface — Name, Jobs,
+// Reduce — and executes on the internal/sweep worker pool, so its
+// independent runs fan out across CPUs while the merged result stays
+// byte-identical to sequential execution (see docs/SWEEP.md). The
+// registry in registry.go lists the experiments in canonical order;
+// the classic entry points (Figure5, Table5, Chaos, ...) remain as
+// thin wrappers over Run.
 package experiments
 
 import (

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"rrtcp/internal/telemetry"
+	"rrtcp/internal/workload"
+)
+
+// runAt executes a freshly built experiment at the given worker count
+// and returns its text rendering and JSON encoding.
+func runAt(t *testing.T, build func() Experiment, workers int) (string, string) {
+	t.Helper()
+	res, err := Run(build(), RunOptions{Parallel: workers})
+	if err != nil {
+		t.Fatalf("run (parallel=%d): %v", workers, err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("marshal (parallel=%d): %v", workers, err)
+	}
+	return res.Render(), string(b)
+}
+
+// assertParallelIdentical is the sweep engine's core contract: the
+// merged output of a parallel run is byte-identical to sequential.
+func assertParallelIdentical(t *testing.T, build func() Experiment) {
+	t.Helper()
+	seqRender, seqJSON := runAt(t, build, 1)
+	for _, workers := range []int{4, 9} {
+		parRender, parJSON := runAt(t, build, workers)
+		if parRender != seqRender {
+			t.Fatalf("parallel=%d rendering differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				workers, seqRender, parRender)
+		}
+		if parJSON != seqJSON {
+			t.Fatalf("parallel=%d JSON differs from sequential", workers)
+		}
+	}
+}
+
+func TestFigure7ParallelIdentical(t *testing.T) {
+	assertParallelIdentical(t, func() Experiment {
+		return NewFigure7Experiment(Figure7Config{
+			Variants:  []workload.Kind{workload.SACK, workload.RR},
+			LossRates: []float64{0.01, 0.05},
+			Seeds:     []int64{1, 2},
+			Duration:  8 * time.Second,
+		})
+	})
+}
+
+func TestTable5ParallelIdentical(t *testing.T) {
+	assertParallelIdentical(t, func() Experiment {
+		return NewTable5Experiment(Table5Config{
+			Flows:   6,
+			Seeds:   []int64{1, 2},
+			Horizon: 60 * time.Second,
+			Cases: []Table5Case{
+				{Label: "Reno/RR", Background: workload.Reno, Target: workload.RR},
+				{Label: "RR/Reno", Background: workload.RR, Target: workload.Reno},
+			},
+		})
+	})
+}
+
+func TestChaosParallelIdentical(t *testing.T) {
+	assertParallelIdentical(t, func() Experiment {
+		return NewChaosExperiment(ChaosConfig{
+			Schedules: 3,
+			Seed:      5,
+			Variants:  []workload.Kind{workload.SACK, workload.RR, workload.FACK},
+			Bytes:     50 * 1000,
+			Horizon:   30 * time.Second,
+		})
+	})
+}
+
+// TestFigure5ParallelTelemetryIdentical checks the republish path: a
+// parallel figure-5 run must deliver the same NDJSON event stream, in
+// the same order, as a sequential one — each job captures into a
+// private buffer and Reduce replays them in job-index order.
+func TestFigure5ParallelTelemetryIdentical(t *testing.T) {
+	capture := func(workers int) (string, string) {
+		var buf bytes.Buffer
+		nd := telemetry.NewNDJSONSink(&buf)
+		e := NewFigure5Experiment(Figure5Config{
+			Variants:  []workload.Kind{workload.NewReno, workload.RR},
+			Telemetry: telemetry.NewBus(nd),
+		})
+		res, err := Run(e, RunOptions{Parallel: workers})
+		if err != nil {
+			t.Fatalf("run (parallel=%d): %v", workers, err)
+		}
+		if err := nd.Close(); err != nil {
+			t.Fatalf("close sink: %v", err)
+		}
+		return res.Render(), buf.String()
+	}
+	seqRender, seqEvents := capture(1)
+	parRender, parEvents := capture(4)
+	if parRender != seqRender {
+		t.Fatal("parallel figure-5 rendering differs from sequential")
+	}
+	if seqEvents == "" {
+		t.Fatal("sequential run emitted no telemetry")
+	}
+	if parEvents != seqEvents {
+		t.Fatal("parallel figure-5 event stream differs from sequential")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/workload"
 )
 
@@ -31,6 +32,8 @@ type FairShareConfig struct {
 	Horizon sim.Time `json:"horizonNs"`
 	// Seed drives the scheduler.
 	Seed int64 `json:"seed"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *FairShareConfig) fillDefaults() {
@@ -76,20 +79,59 @@ type FairShareResult struct {
 
 // FairShare runs the experiment once per gateway discipline.
 func FairShare(cfg FairShareConfig) (*FairShareResult, error) {
-	cfg.fillDefaults()
-	res := &FairShareResult{Config: cfg}
-	for _, disc := range []string{"fifo", "drr"} {
-		row, err := fairShareRun(cfg, disc)
-		if err != nil {
-			return nil, fmt.Errorf("fair share (%s): %w", disc, err)
-		}
-		res.Rows = append(res.Rows, row)
+	res, err := Run(NewFairShareExperiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return res.(*FairShareResult), nil
 }
 
-func fairShareRun(cfg FairShareConfig, disc string) (FairShareRow, error) {
-	sched := sim.NewScheduler(cfg.Seed)
+// FairShareExperiment adapts the gateway comparison to the Experiment
+// interface: one job per reverse-path discipline.
+type FairShareExperiment struct {
+	cfg FairShareConfig
+}
+
+// NewFairShareExperiment fills defaults and returns the experiment.
+func NewFairShareExperiment(cfg FairShareConfig) *FairShareExperiment {
+	cfg.fillDefaults()
+	return &FairShareExperiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *FairShareExperiment) Name() string { return "fairshare" }
+
+// Jobs implements Experiment.
+func (e *FairShareExperiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
+	for _, disc := range []string{"fifo", "drr"} {
+		jobs = append(jobs, sweep.Job{
+			Name: disc,
+			Seed: cfg.Seed,
+			Run: func(seed int64) (any, error) {
+				row, err := fairShareRun(cfg, disc, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fair share (%s): %w", disc, err)
+				}
+				return row, nil
+			},
+		})
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment.
+func (e *FairShareExperiment) Reduce(results []any) (Renderable, error) {
+	rows, err := sweep.Collect[FairShareRow](results)
+	if err != nil {
+		return nil, err
+	}
+	return &FairShareResult{Config: e.cfg, Rows: rows}, nil
+}
+
+func fairShareRun(cfg FairShareConfig, disc string, seed int64) (FairShareRow, error) {
+	sched := sim.NewScheduler(seed)
 	dcfg := netem.PaperDropTailConfig(1)
 	// Keep the forward path loss-free so the only impairment is the
 	// congested ACK path.

@@ -6,6 +6,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
@@ -33,8 +34,12 @@ type Figure5Config struct {
 	Seed int64 `json:"seed"`
 	// Telemetry, when non-nil, receives structured events from every
 	// variant's run: flow events plus the instrumented bottleneck links,
-	// queues, and loss injector.
+	// queues, and loss injector. Under a parallel sweep each run records
+	// into a private buffer and the streams are republished here in
+	// variant order, so the NDJSON output stays deterministic.
 	Telemetry *telemetry.Bus `json:"-"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *Figure5Config) fillDefaults() {
@@ -99,19 +104,86 @@ type Figure5Result struct {
 // the identical pattern with a deterministic per-sequence loss injector
 // on an otherwise clean path (see DESIGN.md §3).
 func Figure5(cfg Figure5Config) (*Figure5Result, error) {
+	res, err := Run(NewFigure5Experiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Figure5Result), nil
+}
+
+// Figure5Experiment adapts the burst-loss comparison to the Experiment
+// interface: one job per variant. When the config carries a telemetry
+// bus, each job captures its event stream into a private ring and
+// Reduce republishes the streams in variant order — the bus itself is
+// never touched from a worker goroutine.
+type Figure5Experiment struct {
+	cfg Figure5Config
+}
+
+// NewFigure5Experiment fills defaults and returns the experiment.
+func NewFigure5Experiment(cfg Figure5Config) *Figure5Experiment {
 	cfg.fillDefaults()
-	res := &Figure5Result{Config: cfg}
+	return &Figure5Experiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *Figure5Experiment) Name() string { return "fig5" }
+
+// figure5Out is one variant's outcome plus its captured event stream.
+type figure5Out struct {
+	Row    Figure5Row
+	Events []telemetry.Event
+}
+
+// Jobs implements Experiment.
+func (e *Figure5Experiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	capture := cfg.Telemetry.Enabled()
+	var jobs []sweep.Job
 	for _, kind := range cfg.Variants {
-		row, err := figure5Run(cfg, kind)
-		if err != nil {
-			return nil, fmt.Errorf("figure 5 (%v): %w", kind, err)
+		jobs = append(jobs, sweep.Job{
+			Name: kind.String(),
+			Seed: cfg.Seed,
+			Run: func(int64) (any, error) {
+				var ring *telemetry.Ring
+				var bus *telemetry.Bus
+				if capture {
+					ring = telemetry.NewRing(0)
+					bus = telemetry.NewBus(ring)
+				}
+				row, err := figure5Run(cfg, kind, bus)
+				if err != nil {
+					return nil, fmt.Errorf("figure 5 (%v): %w", kind, err)
+				}
+				out := figure5Out{Row: row}
+				if ring != nil {
+					out.Events = ring.Events()
+				}
+				return out, nil
+			},
+		})
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment: it collects the rows in variant order
+// and forwards each job's captured events to the configured bus.
+func (e *Figure5Experiment) Reduce(results []any) (Renderable, error) {
+	outs, err := sweep.Collect[figure5Out](results)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{Config: e.cfg}
+	for _, out := range outs {
+		res.Rows = append(res.Rows, out.Row)
+		for _, ev := range out.Events {
+			e.cfg.Telemetry.Publish(ev)
 		}
-		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
 
-func figure5Run(cfg Figure5Config, kind workload.Kind) (Figure5Row, error) {
+func figure5Run(cfg Figure5Config, kind workload.Kind, bus *telemetry.Bus) (Figure5Row, error) {
 	sched := sim.NewScheduler(cfg.Seed)
 	loss := netem.NewSeqLoss(nil)
 	mss := int64(tcp.DefaultMSS)
@@ -130,9 +202,9 @@ func figure5Run(cfg Figure5Config, kind workload.Kind) (Figure5Row, error) {
 	if err != nil {
 		return Figure5Row{}, err
 	}
-	if cfg.Telemetry.Enabled() {
-		d.Instrument(cfg.Telemetry)
-		telemetry.AttachSchedulerProfile(sched, cfg.Telemetry, 4096)
+	if bus.Enabled() {
+		d.Instrument(bus)
+		telemetry.AttachSchedulerProfile(sched, bus, 4096)
 	}
 
 	flow, err := workload.Install(sched, d, 0, workload.FlowSpec{
@@ -140,7 +212,7 @@ func figure5Run(cfg Figure5Config, kind workload.Kind) (Figure5Row, error) {
 		Bytes:           int64(cfg.TransferPackets) * mss,
 		Window:          18,
 		InitialSSThresh: 9,
-		Telemetry:       cfg.Telemetry,
+		Telemetry:       bus,
 	})
 	if err != nil {
 		return Figure5Row{}, err

@@ -6,6 +6,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/trace"
 	"rrtcp/internal/workload"
@@ -31,6 +32,8 @@ type Figure6Config struct {
 	Seeds []int64 `json:"seeds"`
 	// RED overrides the Table 4 gateway parameters when non-nil.
 	RED *netem.REDConfig `json:"red,omitempty"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *Figure6Config) fillDefaults() {
@@ -89,16 +92,66 @@ type Figure6Result struct {
 // all flows have infinite data. Throughput columns are means across
 // seeds; the sequence plot comes from the primary seed.
 func Figure6(cfg Figure6Config) (*Figure6Result, error) {
+	res, err := Run(NewFigure6Experiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Figure6Result), nil
+}
+
+// Figure6Experiment adapts the RED scenario to the Experiment
+// interface: one job per (variant, seed) run.
+type Figure6Experiment struct {
+	cfg Figure6Config
+}
+
+// NewFigure6Experiment fills defaults and returns the experiment.
+func NewFigure6Experiment(cfg Figure6Config) *Figure6Experiment {
 	cfg.fillDefaults()
-	res := &Figure6Result{Config: cfg}
+	return &Figure6Experiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *Figure6Experiment) Name() string { return "fig6" }
+
+// Jobs implements Experiment.
+func (e *Figure6Experiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
 	for _, kind := range cfg.Variants {
+		for _, seed := range cfg.Seeds {
+			jobs = append(jobs, sweep.Job{
+				Name: fmt.Sprintf("%v seed=%d", kind, seed),
+				Seed: seed,
+				Run: func(seed int64) (any, error) {
+					panel, err := figure6Run(cfg, kind, seed)
+					if err != nil {
+						return nil, fmt.Errorf("figure 6 (%v): %w", kind, err)
+					}
+					return panel, nil
+				},
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment: throughput columns average across the
+// seeds; the sequence plot comes from the primary seed's run.
+func (e *Figure6Experiment) Reduce(results []any) (Renderable, error) {
+	panels, err := sweep.Collect[Figure6Panel](results)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
+	res := &Figure6Result{Config: cfg}
+	i := 0
+	for range cfg.Variants {
 		var agg Figure6Panel
-		for i, seed := range cfg.Seeds {
-			panel, err := figure6Run(cfg, kind, seed)
-			if err != nil {
-				return nil, fmt.Errorf("figure 6 (%v): %w", kind, err)
-			}
-			if seed == cfg.Seed || (i == 0 && agg.Flow0Seq == nil) {
+		for si, seed := range cfg.Seeds {
+			panel := panels[i]
+			i++
+			if seed == cfg.Seed || (si == 0 && agg.Flow0Seq == nil) {
 				agg.Flow0Seq = panel.Flow0Seq
 			}
 			agg.Variant = panel.Variant

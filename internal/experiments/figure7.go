@@ -7,6 +7,7 @@ import (
 	"rrtcp/internal/model"
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/workload"
 )
@@ -33,6 +34,8 @@ type Figure7Config struct {
 	// which case the model constant becomes C = sqrt(3/4) (extension;
 	// the paper's receivers ACK every packet, C = sqrt(3/2)).
 	DelayedAck bool `json:"delayedAck"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *Figure7Config) fillDefaults() {
@@ -84,7 +87,67 @@ type Figure7Result struct {
 // uniform losses are the only loss process and the RTT stays pinned at
 // the configured value, as the model assumes.
 func Figure7(cfg Figure7Config) (*Figure7Result, error) {
+	res, err := Run(NewFigure7Experiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Figure7Result), nil
+}
+
+// Figure7Experiment adapts the model-fitness sweep to the Experiment
+// interface: one job per (variant, loss rate, seed) cell.
+type Figure7Experiment struct {
+	cfg Figure7Config
+}
+
+// NewFigure7Experiment fills defaults and returns the experiment.
+func NewFigure7Experiment(cfg Figure7Config) *Figure7Experiment {
 	cfg.fillDefaults()
+	return &Figure7Experiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *Figure7Experiment) Name() string { return "fig7" }
+
+// figure7Out is one (variant, rate, seed) run's raw measurement.
+type figure7Out struct {
+	Window   float64
+	Timeouts uint64
+}
+
+// Jobs implements Experiment.
+func (e *Figure7Experiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
+	for _, kind := range cfg.Variants {
+		for _, p := range cfg.LossRates {
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, sweep.Job{
+					Name: fmt.Sprintf("%v p=%g seed=%d", kind, p, seed),
+					Seed: seed,
+					Run: func(seed int64) (any, error) {
+						w, to, err := figure7Run(cfg, kind, p, seed)
+						if err != nil {
+							return nil, fmt.Errorf("figure 7 (%v, p=%g): %w", kind, p, err)
+						}
+						return figure7Out{Window: w, Timeouts: to}, nil
+					},
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment: it averages the per-seed measurements
+// into one point per (variant, loss rate) cell, walking the results in
+// the same nested order Jobs emitted them.
+func (e *Figure7Experiment) Reduce(results []any) (Renderable, error) {
+	outs, err := sweep.Collect[figure7Out](results)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
 	c := model.CAckEveryPacket
 	ackPerPacket := 1
 	if cfg.DelayedAck {
@@ -92,16 +155,14 @@ func Figure7(cfg Figure7Config) (*Figure7Result, error) {
 		ackPerPacket = 2
 	}
 	res := &Figure7Result{Config: cfg}
+	i := 0
 	for _, kind := range cfg.Variants {
 		for _, p := range cfg.LossRates {
 			var windowSum, timeoutSum float64
-			for _, seed := range cfg.Seeds {
-				w, to, err := figure7Run(cfg, kind, p, seed)
-				if err != nil {
-					return nil, fmt.Errorf("figure 7 (%v, p=%g): %w", kind, p, err)
-				}
-				windowSum += w
-				timeoutSum += float64(to)
+			for range cfg.Seeds {
+				windowSum += outs[i].Window
+				timeoutSum += float64(outs[i].Timeouts)
+				i++
 			}
 			n := float64(len(cfg.Seeds))
 			res.Points = append(res.Points, Figure7Point{

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
+	"rrtcp/internal/telemetry"
+	"rrtcp/internal/workload"
+)
+
+// Renderable is what every experiment ultimately produces: a structured
+// result (JSON-encodable) with a paper-style text rendering.
+type Renderable interface {
+	Render() string
+}
+
+// Experiment is the unified sweep-shaped interface every runner in this
+// package implements: an experiment names itself, expands into a flat
+// list of independent sweep jobs, and reduces the job results — handed
+// back in job-index order — into its figure or table. Because Reduce
+// sees results in the same order at any worker count, an experiment's
+// output is byte-identical whether the jobs ran sequentially or across
+// a pool.
+type Experiment interface {
+	Name() string
+	Jobs() ([]sweep.Job, error)
+	Reduce(results []any) (Renderable, error)
+}
+
+// Options carries the CLI-facing knobs shared across experiments. Each
+// builder maps the fields it understands onto its config and ignores
+// the rest; zero values always mean "experiment default".
+type Options struct {
+	// Seed overrides the experiment's primary seed.
+	Seed int64
+	// Runs scales repetition where an experiment has a single count
+	// (chaos: fault schedules).
+	Runs int
+	// Drops is the burst size for the engineered-loss experiments
+	// (fig5, ablation).
+	Drops int
+	// Quick shrinks long sweeps for fast runs (fig7).
+	Quick bool
+	// DelayedAck runs receivers with RFC 1122 delayed ACKs (fig7).
+	DelayedAck bool
+	// Variants restricts the TCP variants under test.
+	Variants []workload.Kind
+	// Bytes is the per-flow transfer size (chaos).
+	Bytes int64
+	// Horizon bounds each run in simulated time (chaos).
+	Horizon sim.Time
+	// BundleDir receives violation repro bundles (chaos).
+	BundleDir string
+	// Telemetry receives structured events from experiments that stream
+	// them (fig5).
+	Telemetry *telemetry.Bus
+}
+
+// Builder constructs an Experiment from shared options.
+type Builder func(Options) (Experiment, error)
+
+// Registration is one named experiment in the registry.
+type Registration struct {
+	// Name is the CLI subcommand.
+	Name string
+	// Desc is a one-line description for usage text.
+	Desc string
+	// Build constructs the experiment.
+	Build Builder
+}
+
+// registry holds every experiment in canonical (paper) order; rrsim
+// derives its dispatch table and usage text from it.
+var registry = []Registration{
+	{"fig5", "Figure 5: drop-tail burst-loss throughput", func(o Options) (Experiment, error) {
+		return NewFigure5Experiment(Figure5Config{
+			Drops: o.Drops, Seed: o.Seed, Variants: o.Variants, Telemetry: o.Telemetry,
+		}), nil
+	}},
+	{"fig6", "Figure 6: RED-gateway sequence traces", func(o Options) (Experiment, error) {
+		return NewFigure6Experiment(Figure6Config{Seed: o.Seed, Variants: o.Variants}), nil
+	}},
+	{"fig7", "Figure 7: square-root-model fitness", func(o Options) (Experiment, error) {
+		cfg := Figure7Config{DelayedAck: o.DelayedAck, Variants: o.Variants}
+		if o.Quick {
+			cfg.LossRates = []float64{0.001, 0.01, 0.05, 0.1}
+			cfg.Duration = 30 * time.Second
+			cfg.Seeds = []int64{1}
+		}
+		return NewFigure7Experiment(cfg), nil
+	}},
+	{"table5", "Table 5: fairness matrix", func(o Options) (Experiment, error) {
+		return NewTable5Experiment(Table5Config{Seed: o.Seed}), nil
+	}},
+	{"ackloss", "§2.3 ACK-loss robustness sweep", func(o Options) (Experiment, error) {
+		return NewAckLossExperiment(AckLossConfig{Variants: o.Variants}), nil
+	}},
+	{"fairshare", "§2.3 fair-share gateways (FIFO vs DRR)", func(o Options) (Experiment, error) {
+		return NewFairShareExperiment(FairShareConfig{Seed: o.Seed}), nil
+	}},
+	{"twoway", "two-way traffic extension", func(o Options) (Experiment, error) {
+		return NewTwoWayExperiment(TwoWayConfig{Variants: o.Variants}), nil
+	}},
+	{"smoothstart", "slow-start overshoot vs Smooth-start [21]", func(o Options) (Experiment, error) {
+		return NewSmoothStartExperiment(SmoothStartConfig{Seed: o.Seed}), nil
+	}},
+	{"bursty", "Gilbert-Elliott correlated-loss sweep", func(o Options) (Experiment, error) {
+		return NewBurstyExperiment(BurstyConfig{Variants: o.Variants}), nil
+	}},
+	{"ablation", "RR design-choice ablations", func(o Options) (Experiment, error) {
+		return NewAblationExperiment(o.Drops), nil
+	}},
+	{"chaos", "seeded-random fault sweep under invariant checking", func(o Options) (Experiment, error) {
+		return NewChaosExperiment(ChaosConfig{
+			Schedules: o.Runs, Seed: o.Seed, Variants: o.Variants,
+			Bytes: o.Bytes, Horizon: o.Horizon, BundleDir: o.BundleDir,
+		}), nil
+	}},
+}
+
+// Experiments returns the registry in canonical order.
+func Experiments() []Registration {
+	return append([]Registration(nil), registry...)
+}
+
+// Build constructs the named experiment from shared options.
+func Build(name string, o Options) (Experiment, error) {
+	for _, r := range registry {
+		if r.Name == name {
+			return r.Build(o)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+}
+
+// RunOptions parameterizes experiment execution, as opposed to the
+// experiment definition itself.
+type RunOptions struct {
+	// Parallel bounds the sweep worker pool; <= 0 means GOMAXPROCS and
+	// 1 forces sequential execution. The result is byte-identical
+	// either way.
+	Parallel int
+	// Progress, when non-nil, receives the sweep's progress events
+	// (telemetry.KSweepStart/KSweepJob/KSweepDone).
+	Progress *telemetry.Bus
+}
+
+// Run executes an experiment end to end: expand jobs, sweep them across
+// the worker pool, reduce the ordered results.
+func Run(e Experiment, opt RunOptions) (Renderable, error) {
+	jobs, err := e.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	results, err := sweep.Run(sweep.Config{
+		Name:      e.Name(),
+		Workers:   opt.Parallel,
+		Telemetry: opt.Progress,
+	}, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return e.Reduce(results)
+}

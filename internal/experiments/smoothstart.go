@@ -6,6 +6,7 @@ import (
 
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/workload"
 )
 
@@ -27,6 +28,8 @@ type SmoothStartConfig struct {
 	Horizon sim.Time `json:"horizonNs"`
 	// Seed drives the scheduler.
 	Seed int64 `json:"seed"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 func (c *SmoothStartConfig) fillDefaults() {
@@ -69,20 +72,63 @@ type SmoothStartResult struct {
 
 // SmoothStart runs the comparison.
 func SmoothStart(cfg SmoothStartConfig) (*SmoothStartResult, error) {
-	cfg.fillDefaults()
-	res := &SmoothStartResult{Config: cfg}
-	for _, smooth := range []bool{false, true} {
-		row, err := smoothStartRun(cfg, smooth)
-		if err != nil {
-			return nil, fmt.Errorf("smooth start (%t): %w", smooth, err)
-		}
-		res.Rows = append(res.Rows, row)
+	res, err := Run(NewSmoothStartExperiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return res.(*SmoothStartResult), nil
 }
 
-func smoothStartRun(cfg SmoothStartConfig, smooth bool) (SmoothStartRow, error) {
-	sched := sim.NewScheduler(cfg.Seed)
+// SmoothStartExperiment adapts the slow-start comparison to the
+// Experiment interface: one job per slow-start flavour.
+type SmoothStartExperiment struct {
+	cfg SmoothStartConfig
+}
+
+// NewSmoothStartExperiment fills defaults and returns the experiment.
+func NewSmoothStartExperiment(cfg SmoothStartConfig) *SmoothStartExperiment {
+	cfg.fillDefaults()
+	return &SmoothStartExperiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *SmoothStartExperiment) Name() string { return "smoothstart" }
+
+// Jobs implements Experiment.
+func (e *SmoothStartExperiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
+	for _, smooth := range []bool{false, true} {
+		name := "classic"
+		if smooth {
+			name = "smooth"
+		}
+		jobs = append(jobs, sweep.Job{
+			Name: name,
+			Seed: cfg.Seed,
+			Run: func(seed int64) (any, error) {
+				row, err := smoothStartRun(cfg, smooth, seed)
+				if err != nil {
+					return nil, fmt.Errorf("smooth start (%t): %w", smooth, err)
+				}
+				return row, nil
+			},
+		})
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment.
+func (e *SmoothStartExperiment) Reduce(results []any) (Renderable, error) {
+	rows, err := sweep.Collect[SmoothStartRow](results)
+	if err != nil {
+		return nil, err
+	}
+	return &SmoothStartResult{Config: e.cfg, Rows: rows}, nil
+}
+
+func smoothStartRun(cfg SmoothStartConfig, smooth bool, seed int64) (SmoothStartRow, error) {
+	sched := sim.NewScheduler(seed)
 	dcfg := netem.PaperDropTailConfig(1)
 	d, err := netem.NewDumbbell(sched, dcfg)
 	if err != nil {

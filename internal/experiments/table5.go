@@ -7,6 +7,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/stats"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/workload"
 )
@@ -35,6 +36,8 @@ type Table5Config struct {
 	Seeds []int64 `json:"seeds"`
 	// Cases overrides the four default combinations.
 	Cases []Table5Case `json:"cases"`
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int `json:"-"`
 }
 
 // Table5Case names one background/target variant combination.
@@ -101,16 +104,66 @@ type Table5Result struct {
 // Table5 runs the fairness matrix, averaging each case over the
 // configured seeds.
 func Table5(cfg Table5Config) (*Table5Result, error) {
+	res, err := Run(NewTable5Experiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Table5Result), nil
+}
+
+// Table5Experiment adapts the fairness matrix to the Experiment
+// interface: one job per (case, seed) cell.
+type Table5Experiment struct {
+	cfg Table5Config
+}
+
+// NewTable5Experiment fills defaults and returns the experiment.
+func NewTable5Experiment(cfg Table5Config) *Table5Experiment {
 	cfg.fillDefaults()
+	return &Table5Experiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *Table5Experiment) Name() string { return "table5" }
+
+// Jobs implements Experiment.
+func (e *Table5Experiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
+	for _, tc := range cfg.Cases {
+		for _, seed := range cfg.Seeds {
+			jobs = append(jobs, sweep.Job{
+				Name: fmt.Sprintf("%s seed=%d", tc.Label, seed),
+				Seed: seed,
+				Run: func(seed int64) (any, error) {
+					row, err := table5Run(cfg, tc, seed)
+					if err != nil {
+						return nil, fmt.Errorf("table 5 (%s): %w", tc.Label, err)
+					}
+					return row, nil
+				},
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment: per-seed rows collapse into one row per
+// case with a mean transfer delay and its 95% confidence half-width.
+func (e *Table5Experiment) Reduce(results []any) (Renderable, error) {
+	rows, err := sweep.Collect[Table5Row](results)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
 	res := &Table5Result{Config: cfg}
+	i := 0
 	for _, tc := range cfg.Cases {
 		var agg Table5Row
 		var delays []float64
-		for _, seed := range cfg.Seeds {
-			row, err := table5Run(cfg, tc, seed)
-			if err != nil {
-				return nil, fmt.Errorf("table 5 (%s): %w", tc.Label, err)
-			}
+		for range cfg.Seeds {
+			row := rows[i]
+			i++
 			agg.Case = tc
 			agg.LossRate += row.LossRate
 			if row.Finished {

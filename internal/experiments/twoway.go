@@ -7,6 +7,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/stats"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/workload"
 )
@@ -31,6 +32,8 @@ type TwoWayConfig struct {
 	Horizon sim.Time
 	// Seeds to average over (start phases are jittered per seed).
 	Seeds []int64
+	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
+	Parallel int
 }
 
 func (c *TwoWayConfig) fillDefaults() {
@@ -79,22 +82,79 @@ type TwoWayResult struct {
 
 // TwoWay runs the experiment for each variant and seed.
 func TwoWay(cfg TwoWayConfig) (*TwoWayResult, error) {
+	res, err := Run(NewTwoWayExperiment(cfg), RunOptions{Parallel: cfg.Parallel})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*TwoWayResult), nil
+}
+
+// TwoWayExperiment adapts the two-way-traffic comparison to the
+// Experiment interface: one job per (variant, seed) run.
+type TwoWayExperiment struct {
+	cfg TwoWayConfig
+}
+
+// NewTwoWayExperiment fills defaults and returns the experiment.
+func NewTwoWayExperiment(cfg TwoWayConfig) *TwoWayExperiment {
 	cfg.fillDefaults()
+	return &TwoWayExperiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *TwoWayExperiment) Name() string { return "twoway" }
+
+// twoWayOut is one (variant, seed) run's raw measurement.
+type twoWayOut struct {
+	Delay    sim.Time
+	AckLoss  float64
+	Timeouts uint64
+	Finished bool
+}
+
+// Jobs implements Experiment.
+func (e *TwoWayExperiment) Jobs() ([]sweep.Job, error) {
+	cfg := e.cfg
+	var jobs []sweep.Job
+	for _, kind := range cfg.Variants {
+		for _, seed := range cfg.Seeds {
+			jobs = append(jobs, sweep.Job{
+				Name: fmt.Sprintf("%v seed=%d", kind, seed),
+				Seed: seed,
+				Run: func(seed int64) (any, error) {
+					delay, ackLoss, timeouts, finished, err := twoWayRun(cfg, kind, seed)
+					if err != nil {
+						return nil, fmt.Errorf("two-way (%v): %w", kind, err)
+					}
+					return twoWayOut{Delay: delay, AckLoss: ackLoss, Timeouts: timeouts, Finished: finished}, nil
+				},
+			})
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment.
+func (e *TwoWayExperiment) Reduce(results []any) (Renderable, error) {
+	outs, err := sweep.Collect[twoWayOut](results)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
 	res := &TwoWayResult{Config: cfg}
+	i := 0
 	for _, kind := range cfg.Variants {
 		row := TwoWayRow{Variant: kind, Runs: len(cfg.Seeds)}
 		var delays []float64
 		var ackLossSum, timeoutSum float64
-		for _, seed := range cfg.Seeds {
-			delay, ackLoss, timeouts, finished, err := twoWayRun(cfg, kind, seed)
-			if err != nil {
-				return nil, fmt.Errorf("two-way (%v): %w", kind, err)
-			}
-			ackLossSum += ackLoss
-			timeoutSum += float64(timeouts)
-			if finished {
+		for range cfg.Seeds {
+			out := outs[i]
+			i++
+			ackLossSum += out.AckLoss
+			timeoutSum += float64(out.Timeouts)
+			if out.Finished {
 				row.Completed++
-				delays = append(delays, delay.Seconds())
+				delays = append(delays, out.Delay.Seconds())
 			}
 		}
 		if row.Completed > 0 {

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleScenariosRoundTrip loads every shipped example scenario
+// and requires the spec to survive a marshal → load → marshal cycle
+// byte-identically: the JSON schema has no lossy or one-way fields.
+func TestExampleScenariosRoundTrip(t *testing.T) {
+	files, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example scenarios found")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			spec, err := LoadFile(path)
+			if err != nil {
+				t.Fatalf("load %s: %v", path, err)
+			}
+			first, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			reloaded, err := Load(bytes.NewReader(first))
+			if err != nil {
+				t.Fatalf("reload marshalled spec: %v", err)
+			}
+			second, err := json.Marshal(reloaded)
+			if err != nil {
+				t.Fatalf("re-marshal: %v", err)
+			}
+			if !bytes.Equal(first, second) {
+				t.Fatalf("round trip not stable:\nfirst:  %s\nsecond: %s", first, second)
+			}
+		})
+	}
+}

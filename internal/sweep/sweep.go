@@ -1,0 +1,201 @@
+// Package sweep is the parallel execution engine for parameter sweeps:
+// it fans independent deterministic simulation runs out across a pool
+// of worker goroutines while keeping the merged results bit-identical
+// to sequential execution.
+//
+// Every evaluation in the paper is a sweep of independent runs — the
+// Figure 7 loss-rate grid, the Table 5 scenario matrix, the chaos rig's
+// seeded fault schedules — and each run owns its entire world: its own
+// sim.Scheduler, its own telemetry bus, its own invariant checker.
+// Nothing is shared between jobs, so running them concurrently cannot
+// change what any single job computes. The engine's one obligation is
+// to keep the *aggregate* deterministic too, which it does by merging
+// results in job-index order regardless of completion order and by
+// reporting the lowest-indexed error when several jobs fail.
+//
+// Determinism contract:
+//
+//   - A job must be self-contained: it builds its own scheduler (from
+//     the seed the engine hands it) and must not touch global mutable
+//     state or any structure shared with another job.
+//   - Run returns results indexed exactly like the jobs slice; output
+//     derived from that slice is byte-identical at any worker count,
+//     including 1.
+//   - Seeds are fixed before execution starts: a job's seed is its Seed
+//     field, or DeriveSeed(cfg.Seed, index) when the field is zero —
+//     never anything drawn during execution.
+//
+// Progress events (telemetry.KSweepStart/KSweepJob/KSweepDone) are
+// published on the coordinating goroutine only, in completion order;
+// they exist for interactive feedback and are the one output of a sweep
+// that is *not* covered by the determinism contract.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rrtcp/internal/telemetry"
+)
+
+// Job is one independent unit of a sweep: a self-contained simulation
+// run identified by its position in the jobs slice.
+type Job struct {
+	// Name labels the job in progress events and error messages.
+	Name string
+	// Seed drives the job's scheduler. Zero means "derive": the engine
+	// fills it with DeriveSeed(Config.Seed, index) before execution.
+	Seed int64
+	// Run executes the job with the resolved seed and returns its
+	// result. It runs on a worker goroutine and must not share mutable
+	// state with any other job.
+	Run func(seed int64) (any, error)
+}
+
+// Config parameterizes one Run call.
+type Config struct {
+	// Name labels the sweep in progress events and error messages.
+	Name string
+	// Seed is the sweep master seed, used to derive per-job seeds for
+	// jobs that do not pin their own.
+	Seed int64
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. One worker
+	// executes the jobs sequentially on the calling goroutine.
+	Workers int
+	// Telemetry, when non-nil, receives sweep progress events. They are
+	// published from the coordinating goroutine only, so the bus must
+	// not be shared with a concurrently running simulation.
+	Telemetry *telemetry.Bus
+}
+
+// DeriveSeed returns the deterministic seed for the job at index under
+// the sweep master seed, via a splitmix64-style derivation: the index
+// steps a Weyl sequence from the master seed and the splitmix64
+// finalizer scrambles it. Nearby (seed, index) pairs therefore yield
+// statistically independent streams, and the mapping is stable across
+// runs, platforms, and worker counts.
+func DeriveSeed(seed int64, index int) int64 {
+	z := uint64(seed) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Run executes the jobs across the configured worker pool and returns
+// their results in job-index order. All jobs run even if some fail; the
+// returned error is the one from the lowest-indexed failing job, so the
+// error surface is as deterministic as the results.
+func Run(cfg Config, jobs []Job) ([]any, error) {
+	n := len(jobs)
+	if n == 0 {
+		return nil, nil
+	}
+	seeds := make([]int64, n)
+	for i, j := range jobs {
+		seeds[i] = j.Seed
+		if seeds[i] == 0 {
+			seeds[i] = DeriveSeed(cfg.Seed, i)
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	cfg.Telemetry.Publish(telemetry.Event{
+		Comp: telemetry.CompSweep, Kind: telemetry.KSweepStart,
+		Src: cfg.Name, Flow: telemetry.NoFlow,
+		A: float64(n), B: float64(workers),
+	})
+
+	results := make([]any, n)
+	errs := make([]error, n)
+
+	if workers == 1 {
+		for i := range jobs {
+			results[i], errs[i] = runJob(jobs[i], seeds[i])
+			publishJob(cfg, jobs[i].Name, i, i+1, n)
+		}
+	} else {
+		idx := make(chan int)
+		done := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i], errs[i] = runJob(jobs[i], seeds[i])
+					done <- i
+				}
+			}()
+		}
+		go func() {
+			for i := range jobs {
+				idx <- i
+			}
+			close(idx)
+		}()
+		// The coordinator drains exactly one completion per job; the
+		// channel receives order writes of results[i]/errs[i] before the
+		// reads below.
+		for completed := 1; completed <= n; completed++ {
+			i := <-done
+			publishJob(cfg, jobs[i].Name, i, completed, n)
+		}
+		wg.Wait()
+	}
+
+	cfg.Telemetry.Publish(telemetry.Event{
+		Comp: telemetry.CompSweep, Kind: telemetry.KSweepDone,
+		Src: cfg.Name, Flow: telemetry.NoFlow, A: float64(n),
+	})
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s: job %d (%s): %w", cfg.Name, i, jobs[i].Name, err)
+		}
+	}
+	return results, nil
+}
+
+func publishJob(cfg Config, name string, index, completed, total int) {
+	cfg.Telemetry.Publish(telemetry.Event{
+		Comp: telemetry.CompSweep, Kind: telemetry.KSweepJob,
+		Src: name, Flow: telemetry.NoFlow, Seq: int64(index),
+		A: float64(completed), B: float64(total),
+	})
+}
+
+// runJob executes one job, converting a panic into an error so a broken
+// job cannot deadlock the pool.
+func runJob(j Job, seed int64) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return j.Run(seed)
+}
+
+// Collect converts a sweep's []any results into their concrete type,
+// failing on the first mismatch. It is the typed bridge between Run and
+// an experiment's Reduce step.
+func Collect[T any](results []any) ([]T, error) {
+	out := make([]T, len(results))
+	for i, r := range results {
+		v, ok := r.(T)
+		if !ok {
+			return nil, fmt.Errorf("sweep: result %d is %T, want %T", i, r, out[i])
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// ProgressSink renders sweep-engine progress events as a single
+// carriage-return-updated status line, for interactive stderr feedback
+// while a long sweep runs. Events from other components are ignored.
+type ProgressSink struct {
+	w       io.Writer
+	started bool
+}
+
+// NewProgressSink returns a sink writing sweep progress to w.
+func NewProgressSink(w io.Writer) *ProgressSink { return &ProgressSink{w: w} }
+
+// Emit implements Sink.
+func (p *ProgressSink) Emit(ev Event) {
+	if ev.Comp != CompSweep {
+		return
+	}
+	switch ev.Kind {
+	case KSweepStart:
+		fmt.Fprintf(p.w, "%s: %d jobs on %d workers\n", label(ev.Src), int(ev.A), int(ev.B))
+		p.started = true
+	case KSweepJob:
+		fmt.Fprintf(p.w, "\r%d/%d %-40s", int(ev.A), int(ev.B), ev.Src)
+	case KSweepDone:
+		if p.started {
+			fmt.Fprintf(p.w, "\r%s: %d jobs done%-30s\n", label(ev.Src), int(ev.A), "")
+			p.started = false
+		}
+	}
+}
+
+func label(src string) string {
+	if src == "" {
+		return "sweep"
+	}
+	return src
+}

@@ -38,6 +38,7 @@ const (
 	CompRR                             // the Robust Recovery state machine
 	CompFault                          // a fault injector (internal/faults)
 	CompInvariant                      // the runtime invariant checker
+	CompSweep                          // the parallel sweep engine (internal/sweep)
 
 	compSentinel // keep last
 )
@@ -63,6 +64,8 @@ func (c Component) String() string {
 		return "fault"
 	case CompInvariant:
 		return "invariant"
+	case CompSweep:
+		return "sweep"
 	default:
 		return "?"
 	}
@@ -121,6 +124,15 @@ const (
 	// Invariant checking.
 	KViolation // runtime invariant violated (Src=rule name)
 
+	// Sweep-engine progress. These fire on the sweep's coordinating
+	// goroutine, between simulations rather than inside one, so their
+	// At field is always zero. KSweepJob arrives in completion order,
+	// which is scheduling-dependent: progress streams are exempt from
+	// the sweep determinism contract.
+	KSweepStart // sweep began (Src=sweep name, A=jobs, B=workers)
+	KSweepJob   // one job finished (Src=job name, Seq=job index, A=completed, B=total)
+	KSweepDone  // sweep finished (Src=sweep name, A=jobs)
+
 	kindSentinel // keep last
 )
 
@@ -177,6 +189,12 @@ func (k Kind) String() string {
 		return "ack-compress"
 	case KViolation:
 		return "violation"
+	case KSweepStart:
+		return "sweep-start"
+	case KSweepJob:
+		return "sweep-job"
+	case KSweepDone:
+		return "sweep-done"
 	default:
 		return "?"
 	}
@@ -222,6 +240,12 @@ func (k Kind) attrNames() (a, b string) {
 		return "delay_s", ""
 	case KAckCompress:
 		return "batch", ""
+	case KSweepStart:
+		return "jobs", "workers"
+	case KSweepJob:
+		return "completed", "total"
+	case KSweepDone:
+		return "jobs", ""
 	default:
 		return "", ""
 	}

@@ -30,6 +30,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/scenario"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
@@ -77,8 +78,11 @@ type (
 )
 
 // NewSeqLoss returns a deterministic loss injector, ready to be placed
-// at the bottleneck via DumbbellConfig.Loss.
-func NewSeqLoss() *SeqLoss { return netem.NewSeqLoss(nil) }
+// at the bottleneck via DumbbellConfig.Loss. The scheduler argument is
+// unused (the injector draws no randomness); it is accepted so every
+// loss constructor shares the (scheduler, params...) shape and loss
+// models stay drop-in replacements for each other.
+func NewSeqLoss(_ *Scheduler) *SeqLoss { return netem.NewSeqLoss(nil) }
 
 // NewUniformLoss returns a random loss injector drawing from the
 // scheduler's deterministic random source.
@@ -115,8 +119,16 @@ func NewREDQueue(s *Scheduler, cfg REDConfig) (QueueDiscipline, error) {
 	return netem.NewRED(cfg, s.Rand())
 }
 
-// MustQueue unwraps a queue-constructor result, panicking on error —
-// for call sites with constant, known-valid parameters.
+// Must unwraps any constructor result, panicking on error — for call
+// sites with constant, known-valid parameters:
+//
+//	cfg.ForwardQueue = rrtcp.Must(rrtcp.NewDropTailQueue(25))
+func Must[T any](v T, err error) T { return netem.Must(v, err) }
+
+// MustQueue unwraps a queue-constructor result, panicking on error.
+//
+// Deprecated: use the generic Must, which works with every constructor
+// in this package.
 func MustQueue(q QueueDiscipline, err error) QueueDiscipline {
 	return netem.Must(q, err)
 }
@@ -344,6 +356,56 @@ func RunSmoothStart(cfg SmoothStartConfig) (*SmoothStartResult, error) {
 func RunBursty(cfg BurstyConfig) (*BurstyResult, error) {
 	return experiments.Bursty(cfg)
 }
+
+// --- parallel sweeps and the unified Experiment API ---
+
+type (
+	// SweepJob is one independent simulation run inside a sweep.
+	SweepJob = sweep.Job
+	// SweepConfig parameterizes a RunSweep call.
+	SweepConfig = sweep.Config
+	// Experiment is the unified interface every experiment runner
+	// implements: Name, Jobs, Reduce.
+	Experiment = experiments.Experiment
+	// ExperimentOptions carries the CLI-facing knobs shared across
+	// experiments; zero values mean "experiment default".
+	ExperimentOptions = experiments.Options
+	// ExperimentRunOptions controls execution (worker count, progress).
+	ExperimentRunOptions = experiments.RunOptions
+	// ExperimentResult is a structured result with a text rendering.
+	ExperimentResult = experiments.Renderable
+	// ExperimentRegistration is one named experiment in the registry.
+	ExperimentRegistration = experiments.Registration
+	// ProgressSink renders sweep progress events as a status line.
+	ProgressSink = telemetry.ProgressSink
+)
+
+// RunSweep fans the jobs out across a worker pool and returns their
+// results in job-index order, byte-identical to sequential execution;
+// see internal/sweep for the determinism contract.
+func RunSweep(cfg SweepConfig, jobs []SweepJob) ([]any, error) { return sweep.Run(cfg, jobs) }
+
+// DeriveSweepSeed returns the deterministic per-job seed the sweep
+// engine uses for the job at index under a master seed.
+func DeriveSweepSeed(seed int64, index int) int64 { return sweep.DeriveSeed(seed, index) }
+
+// Experiments lists every registered experiment in canonical order.
+func Experiments() []ExperimentRegistration { return experiments.Experiments() }
+
+// BuildExperiment constructs a registered experiment by name.
+func BuildExperiment(name string, o ExperimentOptions) (Experiment, error) {
+	return experiments.Build(name, o)
+}
+
+// RunExperiment executes an experiment end to end: expand jobs, sweep
+// them across the worker pool, reduce the ordered results.
+func RunExperiment(e Experiment, opt ExperimentRunOptions) (ExperimentResult, error) {
+	return experiments.Run(e, opt)
+}
+
+// NewProgressSink returns a telemetry sink rendering sweep progress to
+// w (typically os.Stderr).
+func NewProgressSink(w io.Writer) *ProgressSink { return telemetry.NewProgressSink(w) }
 
 // --- user-defined scenarios ---
 

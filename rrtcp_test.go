@@ -75,7 +75,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() (int64, uint64, uint64) {
 		sched := rrtcp.NewScheduler(11)
 		cfg := rrtcp.PaperDropTailConfig(4)
-		cfg.ForwardQueue = rrtcp.MustQueue(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
+		cfg.ForwardQueue = rrtcp.Must(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
 		d, err := rrtcp.NewDumbbell(sched, cfg)
 		if err != nil {
 			t.Fatalf("dumbbell: %v", err)
@@ -148,7 +148,7 @@ func TestFacadeQueueConstructors(t *testing.T) {
 
 func TestFacadeLossConstructors(t *testing.T) {
 	sched := rrtcp.NewScheduler(1)
-	sl := rrtcp.NewSeqLoss()
+	sl := rrtcp.NewSeqLoss(sched)
 	sl.Drop(0, 1000)
 	ul := rrtcp.NewUniformLoss(sched, 0.5)
 	if ul == nil || sl == nil {

@@ -130,7 +130,7 @@ func TestTwoFlowSharing(t *testing.T) {
 		sched := rrtcp.NewScheduler(1)
 		cfg := rrtcp.PaperDropTailConfig(2)
 		if red {
-			cfg.ForwardQueue = rrtcp.MustQueue(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
+			cfg.ForwardQueue = rrtcp.Must(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
 		}
 		d, err := rrtcp.NewDumbbell(sched, cfg)
 		if err != nil {
@@ -178,7 +178,7 @@ func TestLossRateMatchesConfigured(t *testing.T) {
 		BottleneckDelay: 20 * time.Millisecond,
 		SideBps:         100e6,
 		SideDelay:       time.Millisecond,
-		ForwardQueue:    rrtcp.MustQueue(rrtcp.NewDropTailQueue(1000)),
+		ForwardQueue:    rrtcp.Must(rrtcp.NewDropTailQueue(1000)),
 		Loss:            loss,
 	}
 	d, err := rrtcp.NewDumbbell(sched, cfg)

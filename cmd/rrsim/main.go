@@ -23,6 +23,13 @@
 // -parallel bounds the pool (0 = GOMAXPROCS, 1 = sequential) and the
 // output is byte-identical at any setting. -progress renders a live
 // status line on stderr.
+//
+// Observability flags shared by the experiments and scenario runs:
+// -events streams structured telemetry as NDJSON (for rrtrace),
+// -trace-out assembles the same stream into spans + sampled series and
+// writes Chrome trace-event JSON openable in Perfetto, -metrics prints
+// the aggregated metrics snapshot, and -pprof writes cpu.pprof and
+// heap.pprof runtime profiles of the simulator itself.
 package main
 
 import (
@@ -30,7 +37,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"rrtcp"
 )
@@ -59,6 +70,8 @@ func run(args []string) error {
 	traceOut := fs.String("trace", "", "write flow 0's event trace as CSV to this file (run)")
 	events := fs.String("events", "", "stream structured telemetry as NDJSON to this file, for rrtrace (fig5/run)")
 	metrics := fs.Bool("metrics", false, "print the aggregated metrics snapshot to stderr (fig5/run)")
+	traceJSON := fs.String("trace-out", "", "write spans + sampled series as Chrome trace-event JSON (Perfetto-openable) to this file (fig5/run)")
+	pprofDir := fs.String("pprof", "", "write cpu.pprof and heap.pprof runtime profiles into this directory")
 	asJSON := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	bytes := fs.Int64("bytes", 0, "per-flow transfer size in bytes (chaos, 0 = default)")
 	horizon := fs.Duration("horizon", 0, "per-run simulated-time bound (chaos, 0 = default)")
@@ -104,20 +117,63 @@ func run(args []string) error {
 		runOpt.Progress = rrtcp.NewTelemetryBus(rrtcp.NewProgressSink(os.Stderr))
 	}
 
-	switch cmd {
-	case "run":
-		if fs.NArg() != 1 {
-			return fmt.Errorf("usage: rrsim run [-json] [-trace out.csv] [-events out.ndjson] [-metrics] <scenario.json>")
+	tel := telemetryOpts{events: *events, metrics: *metrics, traceOut: *traceJSON}
+	do := func() error {
+		switch cmd {
+		case "run":
+			if fs.NArg() != 1 {
+				return fmt.Errorf("usage: rrsim run [-json] [-trace out.csv] [-events out.ndjson] [-trace-out out.json] [-metrics] <scenario.json>")
+			}
+			return runScenario(emit, fs.Arg(0), *traceOut, tel)
+		case "chaos":
+			if *replay != "" {
+				return runChaosReplay(*replay)
+			}
+		case "all":
+			return runAll(emit, opts, runOpt)
 		}
-		return runScenario(emit, fs.Arg(0), *traceOut, *events, *metrics)
-	case "chaos":
-		if *replay != "" {
-			return runChaosReplay(*replay)
-		}
-	case "all":
-		return runAll(emit, opts, runOpt)
+		return runExperiment(cmd, emit, opts, runOpt, tel)
 	}
-	return runExperiment(cmd, emit, opts, runOpt, *events, *metrics)
+	if *pprofDir != "" {
+		return withProfiles(*pprofDir, do)
+	}
+	return do()
+}
+
+// withProfiles brackets fn with a CPU profile and snapshots the heap
+// after it returns, writing cpu.pprof and heap.pprof into dir.
+func withProfiles(dir string, fn func() error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return err
+	}
+	runErr := fn()
+	pprof.StopCPUProfile()
+	if err := cpu.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+	if err != nil {
+		if runErr == nil {
+			runErr = err
+		}
+		return runErr
+	}
+	runtime.GC() // settle the heap so the snapshot reflects live data
+	if err := pprof.WriteHeapProfile(heap); err != nil && runErr == nil {
+		runErr = err
+	}
+	if err := heap.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
 }
 
 // usage builds the top-level help text from the experiment registry.
@@ -136,8 +192,8 @@ func usage() string {
 // executes it on the sweep pool, and emits the result. Results that
 // report invariant violations (chaos) turn into a non-zero exit.
 func runExperiment(name string, emit renderer, opts rrtcp.ExperimentOptions,
-	runOpt rrtcp.ExperimentRunOptions, events string, metrics bool) error {
-	bus, finish, err := telemetrySetup(events, metrics)
+	runOpt rrtcp.ExperimentRunOptions, tel telemetryOpts) error {
+	bus, finish, err := telemetrySetup(tel)
 	if err != nil {
 		return err
 	}
@@ -217,19 +273,32 @@ func renderJSON(_ string, result any) error {
 	return enc.Encode(result)
 }
 
-// telemetrySetup builds the bus behind -events and -metrics. The
-// returned finish func flushes the NDJSON stream and prints the metrics
-// snapshot; it must run even when the experiment fails.
-func telemetrySetup(eventsPath string, metrics bool) (*rrtcp.TelemetryBus, func() error, error) {
-	if eventsPath == "" && !metrics {
+// telemetryOpts gathers the observability flags shared by experiment
+// and scenario runs.
+type telemetryOpts struct {
+	events   string // NDJSON event stream path
+	metrics  bool   // print metrics snapshot to stderr
+	traceOut string // Chrome trace-event JSON path
+}
+
+func (t telemetryOpts) enabled() bool {
+	return t.events != "" || t.metrics || t.traceOut != ""
+}
+
+// telemetrySetup builds the bus behind -events, -metrics, and
+// -trace-out. The returned finish func flushes the NDJSON stream,
+// writes the Chrome trace, and prints the metrics snapshot; it must run
+// even when the experiment fails.
+func telemetrySetup(tel telemetryOpts) (*rrtcp.TelemetryBus, func() error, error) {
+	if !tel.enabled() {
 		return nil, func() error { return nil }, nil
 	}
 	var sinks []rrtcp.TelemetrySink
 	var nd *rrtcp.NDJSONSink
 	var f *os.File
-	if eventsPath != "" {
+	if tel.events != "" {
 		var err error
-		f, err = os.Create(eventsPath)
+		f, err = os.Create(tel.events)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -237,9 +306,16 @@ func telemetrySetup(eventsPath string, metrics bool) (*rrtcp.TelemetryBus, func(
 		sinks = append(sinks, nd)
 	}
 	var ms *rrtcp.MetricsSink
-	if metrics {
+	if tel.metrics {
 		ms = rrtcp.NewMetricsSink()
 		sinks = append(sinks, ms)
+	}
+	var spans *rrtcp.SpanSink
+	var series *rrtcp.SeriesSink
+	if tel.traceOut != "" {
+		spans = rrtcp.NewSpanSink()
+		series = rrtcp.NewSeriesSink()
+		sinks = append(sinks, spans, series)
 	}
 	finish := func() error {
 		var err error
@@ -247,6 +323,18 @@ func telemetrySetup(eventsPath string, metrics bool) (*rrtcp.TelemetryBus, func(
 			err = nd.Close()
 			if cerr := f.Close(); err == nil {
 				err = cerr
+			}
+		}
+		if spans != nil {
+			tf, terr := os.Create(tel.traceOut)
+			if terr == nil {
+				terr = rrtcp.WriteChromeTrace(tf, spans.Spans(), series.Series())
+				if cerr := tf.Close(); terr == nil {
+					terr = cerr
+				}
+			}
+			if err == nil {
+				err = terr
 			}
 		}
 		if ms != nil {
@@ -257,16 +345,21 @@ func telemetrySetup(eventsPath string, metrics bool) (*rrtcp.TelemetryBus, func(
 	return rrtcp.NewTelemetryBus(sinks...), finish, nil
 }
 
-func runScenario(emit renderer, path, traceOut, events string, metrics bool) error {
+func runScenario(emit renderer, path, traceOut string, tel telemetryOpts) error {
 	spec, err := rrtcp.LoadScenarioFile(path)
 	if err != nil {
 		return err
 	}
-	bus, finish, err := telemetrySetup(events, metrics)
+	bus, finish, err := telemetrySetup(tel)
 	if err != nil {
 		return err
 	}
 	spec.Telemetry = bus
+	if tel.traceOut != "" {
+		// The Chrome trace's counter tracks come from sampled gauges;
+		// scenarios sample only when asked.
+		spec.SampleEvery = 10 * time.Millisecond
+	}
 	var rep *rrtcp.ScenarioReport
 	if traceOut != "" {
 		f, err := os.Create(traceOut)

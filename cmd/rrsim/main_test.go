@@ -6,6 +6,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"rrtcp"
 )
 
 // capture runs fn with os.Stdout redirected and returns what it wrote.
@@ -252,6 +254,75 @@ func TestRunScenarioEventsExport(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"kind":"recovery-enter"`) {
 		t.Fatal("scenario event log missing recovery events")
+	}
+}
+
+func TestRunFig5TraceOut(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/trace.json"
+	if _, err := capture(t, func() error {
+		return run([]string{"fig5", "-variants", "rr", "-trace-out", trace})
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if err := rrtcp.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	out := string(data)
+	// Spans land as B/E slices; sampled gauges as counter tracks.
+	for _, want := range []string{`"recovery"`, `"probe"`, `"ph":"C"`, "cwnd"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+}
+
+func TestRunScenarioTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	spec := dir + "/s.json"
+	trace := dir + "/trace.json"
+	if err := os.WriteFile(spec,
+		[]byte(`{"duration":"10s","loss":{"drops":[{"flow":0,"packets":[60,61]}]},`+
+			`"flows":[{"kind":"rr","packets":150,"window":18}]}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"run", "-trace-out", trace, spec})
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if err := rrtcp.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	// -trace-out switches the scenario sampler on, so counters exist.
+	if !strings.Contains(string(data), `"ph":"C"`) {
+		t.Fatal("scenario trace has no counter samples")
+	}
+}
+
+func TestRunPprofProfiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := capture(t, func() error {
+		return run([]string{"fig5", "-variants", "rr", "-pprof", dir})
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("profile %s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", name)
+		}
 	}
 }
 

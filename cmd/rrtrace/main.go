@@ -13,7 +13,16 @@
 //	rrtrace timeline [-flow n] [-width n] [-height n] <events.ndjson>
 //	    ASCII plot of one flow's cwnd/actnum with a recovery-phase strip.
 //
-// A path of "-" reads from stdin.
+//	rrtrace spans <events.ndjson>
+//	    Assemble and print the span tree: connection lifetimes, recovery
+//	    episodes with retreat/probe sub-phases, queue busy periods.
+//
+//	rrtrace export [-format chrome|csv] [-out file] <events.ndjson>
+//	    Export spans + sampled series as Chrome trace-event JSON
+//	    (openable in Perfetto) or the sampled series as CSV.
+//
+// A path of "-" reads from stdin. If any input lines were malformed the
+// command still runs, but reports the skip count and exits non-zero.
 package main
 
 import (
@@ -35,7 +44,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rrtrace {summary|filter|timeline} [flags] <events.ndjson>")
+		return fmt.Errorf("usage: rrtrace {summary|filter|timeline|spans|export} [flags] <events.ndjson>")
 	}
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -46,13 +55,15 @@ func run(args []string) error {
 	to := fs.Float64("to", 0, "discard records after this time in seconds; 0 = unbounded (filter)")
 	width := fs.Int("width", 72, "plot width in columns (timeline)")
 	height := fs.Int("height", 16, "plot height in rows (timeline)")
+	format := fs.String("format", "chrome", "export format: chrome (trace-event JSON) or csv (sampled series)")
+	out := fs.String("out", "-", "export output path; - writes to stdout (export)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: rrtrace %s [flags] <events.ndjson>", cmd)
 	}
-	records, err := load(fs.Arg(0))
+	records, stats, err := load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -60,7 +71,6 @@ func run(args []string) error {
 	switch cmd {
 	case "summary":
 		fmt.Print(telemetry.Summarize(records).Render())
-		return nil
 	case "filter":
 		opts := telemetry.FilterOpts{
 			Comp: *comp,
@@ -78,38 +88,72 @@ func run(args []string) error {
 				return err
 			}
 		}
-		return nil
 	case "timeline":
 		id := int32(0)
 		if *flow >= 0 {
 			id = int32(*flow)
 		}
 		fmt.Print(telemetry.Timeline(records, id, *width, *height))
-		return nil
+	case "spans":
+		fmt.Print(telemetry.RenderSpans(telemetry.AssembleSpans(records)))
+	case "export":
+		if err := export(records, *format, *out); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+
+	// Partial input partially answered: the command's output stands,
+	// but the exit code must not pretend the log was whole.
+	if stats.Skipped > 0 {
+		return fmt.Errorf("skipped %d malformed line(s) of %d (first: %v)",
+			stats.Skipped, stats.Lines, stats.FirstErr)
+	}
+	return nil
 }
 
-func load(path string) ([]telemetry.Record, error) {
+func export(records []telemetry.Record, format, out string) error {
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "chrome":
+		return telemetry.WriteChromeTrace(w,
+			telemetry.AssembleSpans(records), telemetry.AssembleSeries(records))
+	case "csv":
+		return telemetry.WriteSeriesCSV(w, telemetry.AssembleSeries(records))
+	default:
+		return fmt.Errorf("unknown export format %q (want chrome or csv)", format)
+	}
+}
+
+func load(path string) ([]telemetry.Record, telemetry.DecodeStats, error) {
 	var r io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, telemetry.DecodeStats{}, err
 		}
 		defer f.Close()
 		r = f
 	}
 	// Event streams from crashed or truncated runs routinely end in a
-	// torn line; decode leniently, skip what doesn't parse, and say so.
+	// torn line; decode leniently, skip what doesn't parse, and report
+	// the damage (run leaves the final say to the exit code).
 	records, stats, err := telemetry.DecodeNDJSONLenient(r)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	if stats.Skipped > 0 {
 		fmt.Fprintf(os.Stderr, "rrtrace: skipped %d malformed line(s) of %d (first: %v)\n",
 			stats.Skipped, stats.Lines, stats.FirstErr)
 	}
-	return records, nil
+	return records, stats, nil
 }

@@ -170,7 +170,8 @@ func TestStdinInput(t *testing.T) {
 
 // A log with torn or corrupt lines (a crashed run, a partial flush)
 // must still summarize: bad lines are skipped with a stderr warning,
-// good ones survive.
+// good ones survive — but the command exits non-zero so scripts can
+// tell the answer came from a damaged log.
 func TestMalformedLinesSkippedWithWarning(t *testing.T) {
 	good, err := os.ReadFile(writeLog(t))
 	if err != nil {
@@ -205,13 +206,66 @@ func TestMalformedLinesSkippedWithWarning(t *testing.T) {
 	if _, err := errBuf.ReadFrom(r); err != nil {
 		t.Fatalf("read stderr: %v", err)
 	}
-	if runErr != nil {
-		t.Fatalf("run: %v", runErr)
+	if runErr == nil {
+		t.Fatal("damaged log exited zero")
+	}
+	if !strings.Contains(runErr.Error(), "skipped 3 malformed line(s)") {
+		t.Fatalf("error does not report the skip count: %v", runErr)
 	}
 	if !strings.Contains(out, "7 events") {
 		t.Fatalf("summary lost good events:\n%s", out)
 	}
 	if warn := errBuf.String(); !strings.Contains(warn, "skipped 3 malformed line(s)") {
 		t.Fatalf("missing skip warning, got: %q", warn)
+	}
+}
+
+func TestSpansCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"spans", writeLog(t)}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"segment 0", "conn flow=0", "recovery flow=0", "retreat", "probe", "exit_cwnd=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("spans output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportChrome(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	_, err := capture(t, func() error {
+		return run([]string{"export", "-format", "chrome", "-out", path, writeLog(t)})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := telemetry.ValidateChromeTrace(data); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if !strings.Contains(string(data), `"recovery"`) {
+		t.Fatalf("trace missing recovery span:\n%s", data)
+	}
+}
+
+func TestExportCSVToStdout(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"export", "-format", "csv", writeLog(t)})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.HasPrefix(out, "seg,comp,src,flow,t,value\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+}
+
+func TestExportUnknownFormat(t *testing.T) {
+	if err := run([]string{"export", "-format", "yaml", writeLog(t)}); err == nil {
+		t.Fatal("unknown format accepted")
 	}
 }

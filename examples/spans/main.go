@@ -1,0 +1,95 @@
+// Spans runs the paper's burst-loss scenario with an RR flow and shows
+// the recovery-episode span layer: the connection lifetime, the
+// recovery episode with its retreat→probe decomposition, and the
+// bottleneck queue's busy periods — assembled live from the telemetry
+// bus while a periodic sampler records cwnd, ssthresh, actnum, srtt,
+// rto, flight, and queue occupancy.
+//
+// Usage: spans [trace.json]
+//
+// With a path argument the program also writes the spans and series as
+// Chrome trace-event JSON; open it at https://ui.perfetto.dev to see
+// the episode as nested slices with counter lanes underneath.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"rrtcp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spans:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	sched := rrtcp.NewScheduler(1)
+
+	// The Figure 5 setup: a drop-tail dumbbell that loses a burst of
+	// six packets from one congestion window.
+	loss := rrtcp.NewSeqLoss(sched)
+	mss := int64(rrtcp.DefaultMSS)
+	for _, pk := range []int64{60, 61, 63, 64, 66, 67} {
+		loss.Drop(0, pk*mss)
+	}
+	cfg := rrtcp.PaperDropTailConfig(1)
+	cfg.Loss = loss
+	net, err := rrtcp.NewDumbbell(sched, cfg)
+	if err != nil {
+		return err
+	}
+
+	// One bus, two live subscribers: spans assemble the episode tree,
+	// series collect the sampled gauges.
+	spans := rrtcp.NewSpanSink()
+	series := rrtcp.NewSeriesSink()
+	bus := rrtcp.NewTelemetryBus(spans, series)
+	net.Instrument(bus)
+
+	flow, err := rrtcp.InstallFlow(sched, net, 0, rrtcp.FlowSpec{
+		Kind:            rrtcp.RR,
+		Bytes:           150 * mss,
+		Window:          18,
+		InitialSSThresh: 9,
+		Telemetry:       bus,
+	})
+	if err != nil {
+		return err
+	}
+
+	sampler := rrtcp.NewSampler(sched, bus, 10*time.Millisecond)
+	sampler.AddFlow(0, flow.Sender)
+	sampler.AddInstance(rrtcp.CompQueue, "fwd", net.BottleneckQueue())
+	sampler.Start()
+
+	sched.Run(60 * time.Second)
+
+	fmt.Print(rrtcp.RenderSpans(spans.Spans()))
+
+	fmt.Println("\nWhat to look for:")
+	fmt.Println("  - the recovery episode nests under the connection span;")
+	fmt.Println("  - retreat (halving in) and probe (growing out) tile the episode;")
+	fmt.Println("  - further-loss instants mark where RR absorbed extra holes without restarting;")
+	fmt.Println("  - queue-busy spans show the bottleneck draining and refilling.")
+
+	if len(args) > 0 {
+		f, err := os.Create(args[0])
+		if err != nil {
+			return err
+		}
+		err = rrtcp.WriteChromeTrace(f, spans.Spans(), series.Series())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s — open it at https://ui.perfetto.dev\n", args[0])
+	}
+	return nil
+}

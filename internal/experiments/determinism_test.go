@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -110,5 +111,50 @@ func TestFigure5ParallelTelemetryIdentical(t *testing.T) {
 	}
 	if parEvents != seqEvents {
 		t.Fatal("parallel figure-5 event stream differs from sequential")
+	}
+}
+
+// TestFigure5ParallelSpansIdentical extends the republish contract to
+// the derived observability artifacts: the assembled span tree, the
+// sampled-series CSV, and the Chrome trace must all be byte-identical
+// between a sequential and a parallel run.
+func TestFigure5ParallelSpansIdentical(t *testing.T) {
+	capture := func(workers int) (spansText, csv, chrome string) {
+		spanSink := telemetry.NewSpanSink()
+		seriesSink := telemetry.NewSeriesSink()
+		e := NewFigure5Experiment(Figure5Config{
+			Variants:  []workload.Kind{workload.NewReno, workload.RR},
+			Telemetry: telemetry.NewBus(spanSink, seriesSink),
+		})
+		if _, err := Run(e, RunOptions{Parallel: workers}); err != nil {
+			t.Fatalf("run (parallel=%d): %v", workers, err)
+		}
+		spans, series := spanSink.Spans(), seriesSink.Series()
+		var csvBuf, chromeBuf bytes.Buffer
+		if err := telemetry.WriteSeriesCSV(&csvBuf, series); err != nil {
+			t.Fatalf("csv (parallel=%d): %v", workers, err)
+		}
+		if err := telemetry.WriteChromeTrace(&chromeBuf, spans, series); err != nil {
+			t.Fatalf("chrome (parallel=%d): %v", workers, err)
+		}
+		if err := telemetry.ValidateChromeTrace(chromeBuf.Bytes()); err != nil {
+			t.Fatalf("chrome trace invalid (parallel=%d): %v", workers, err)
+		}
+		return telemetry.RenderSpans(spans), csvBuf.String(), chromeBuf.String()
+	}
+	seqSpans, seqCSV, seqChrome := capture(1)
+	if !strings.Contains(seqSpans, "segment 1") {
+		t.Fatalf("span tree missing the second variant's segment:\n%s", seqSpans)
+	}
+	parSpans, parCSV, parChrome := capture(4)
+	if parSpans != seqSpans {
+		t.Fatalf("parallel span tree differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seqSpans, parSpans)
+	}
+	if parCSV != seqCSV {
+		t.Fatal("parallel series CSV differs from sequential")
+	}
+	if parChrome != seqChrome {
+		t.Fatal("parallel Chrome trace differs from sequential")
 	}
 }

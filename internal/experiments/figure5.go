@@ -38,6 +38,10 @@ type Figure5Config struct {
 	// into a private buffer and the streams are republished here in
 	// variant order, so the NDJSON output stays deterministic.
 	Telemetry *telemetry.Bus `json:"-"`
+	// SampleEvery sets the gauge-sampling interval for the periodic
+	// Sampler (cwnd, ssthresh, srtt, rto, flight, actnum, bottleneck
+	// occupancy) when Telemetry is enabled. Defaults to 10ms.
+	SampleEvery sim.Time `json:"-"`
 	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
 	Parallel int `json:"-"`
 }
@@ -57,6 +61,9 @@ func (c *Figure5Config) fillDefaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 10 * time.Millisecond
 	}
 }
 
@@ -216,6 +223,12 @@ func figure5Run(cfg Figure5Config, kind workload.Kind, bus *telemetry.Bus) (Figu
 	})
 	if err != nil {
 		return Figure5Row{}, err
+	}
+	if bus.Enabled() {
+		sampler := telemetry.NewSampler(sched, bus, cfg.SampleEvery)
+		sampler.AddFlow(0, flow.Sender)
+		sampler.AddInstance(telemetry.CompQueue, "fwd", d.BottleneckQueue())
+		sampler.Start()
 	}
 
 	const horizon = 60 * time.Second

@@ -342,5 +342,11 @@ func (q *Queue) dequeue() *Packet {
 // Len reports the current number of queued packets.
 func (q *Queue) Len() int { return q.disc.Len() }
 
+// SampleGauges implements telemetry.GaugeSource: the periodic Sampler
+// records the queue's occupancy series.
+func (q *Queue) SampleGauges(emit func(gauge string, v float64)) {
+	emit("qlen", float64(q.disc.Len()))
+}
+
 // Discipline exposes the underlying queue discipline.
 func (q *Queue) Discipline() QueueDiscipline { return q.disc }

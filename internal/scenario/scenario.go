@@ -165,6 +165,11 @@ type Spec struct {
 	// injector. Set programmatically (e.g. by rrsim -events); not part
 	// of the JSON schema.
 	Telemetry *telemetry.Bus `json:"-"`
+	// SampleEvery enables the periodic gauge Sampler (per-flow window
+	// and RTT state plus bottleneck occupancy) at the given sim-time
+	// interval when Telemetry is enabled; 0 keeps sampling off. Set
+	// programmatically (e.g. by rrsim -trace-out).
+	SampleEvery sim.Time `json:"-"`
 }
 
 // FlowReport is one flow's outcome.
@@ -355,6 +360,15 @@ func (s *Spec) RunWithTrace(w io.Writer) (*Report, error) {
 			return nil, err
 		}
 		flows = append(flows, flow)
+	}
+
+	if s.SampleEvery > 0 {
+		sampler := telemetry.NewSampler(sched, s.Telemetry, s.SampleEvery)
+		for i, flow := range flows {
+			sampler.AddFlow(int32(i), flow.Sender)
+		}
+		sampler.AddInstance(telemetry.CompQueue, "fwd", d.BottleneckQueue())
+		sampler.Start()
 	}
 
 	sched.Run(time.Duration(s.Duration))

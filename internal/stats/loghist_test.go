@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLogHistogramEmpty(t *testing.T) {
+	h := NewLogHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(50) != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", h)
+	}
+}
+
+func TestLogHistogramExactExtremes(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{0.003, 1.5, 42, 0.8} {
+		h.Observe(v)
+	}
+	if h.Min() != 0.003 || h.Max() != 42 {
+		t.Fatalf("min/max = %g/%g, want 0.003/42", h.Min(), h.Max())
+	}
+	if h.Quantile(0) != 0.003 || h.Quantile(100) != 42 {
+		t.Fatalf("q0/q100 = %g/%g", h.Quantile(0), h.Quantile(100))
+	}
+	if got, want := h.Mean(), (0.003+1.5+42+0.8)/4; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", got, want)
+	}
+}
+
+// Quantiles must land within the sub-bucket relative-error bound of the
+// exact percentile across several orders of magnitude.
+func TestLogHistogramQuantileRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewLogHistogram()
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over 1e-6 .. 1e3.
+		v := math.Pow(10, rng.Float64()*9-6)
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 99.9} {
+		exact := Percentile(xs, p)
+		got := h.Quantile(p)
+		if relErr := math.Abs(got-exact) / exact; relErr > 2.0/logSubBuckets {
+			t.Fatalf("q%g = %g, exact %g, rel err %.4f > %.4f",
+				p, got, exact, relErr, 2.0/logSubBuckets)
+		}
+	}
+}
+
+func TestLogHistogramNonPositiveUnderflow(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(0)
+	h.Observe(-3)
+	h.Observe(math.NaN())
+	h.Observe(1)
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	// Three samples in the underflow bucket: q50 sits below the minimum
+	// representable value and clamps to the observed minimum.
+	if q := h.Quantile(50); q > 1 {
+		t.Fatalf("q50 = %g, want <= 1", q)
+	}
+}
+
+func TestLogHistogramOverflowClamped(t *testing.T) {
+	h := NewLogHistogram()
+	h.Observe(1e30) // beyond 2^40: overflow bucket
+	h.Observe(1)
+	if h.Max() != 1e30 {
+		t.Fatalf("max = %g", h.Max())
+	}
+	if q := h.Quantile(100); q != 1e30 {
+		t.Fatalf("q100 = %g, want exact max", q)
+	}
+	if q := h.Quantile(99); math.IsInf(q, 1) {
+		t.Fatal("quantile in the overflow bucket returned +Inf")
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	a, b := NewLogHistogram(), NewLogHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(NewLogHistogram())
+	if a.Count() != 200 || a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged count/min/max = %d/%g/%g", a.Count(), a.Min(), a.Max())
+	}
+	if q := a.Quantile(50); math.Abs(q-100)/100 > 0.1 {
+		t.Fatalf("merged q50 = %g, want ~100", q)
+	}
+}
+
+func TestLogHistogramBucketBoundsCoverValues(t *testing.T) {
+	for _, v := range []float64{1e-9, 0.001, 0.5, 1, 1.0001, 3, 1000, 1e9} {
+		idx := bucketOf(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Fatalf("value %g outside its bucket [%g, %g)", v, lo, hi)
+		}
+	}
+}
+
+func BenchmarkLogHistogramObserve(b *testing.B) {
+	h := NewLogHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) + 0.5)
+	}
+}
+
+func BenchmarkLogHistogramQuantile(b *testing.B) {
+	h := NewLogHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Observe(math.Pow(10, rng.Float64()*6-3))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(99)
+	}
+}

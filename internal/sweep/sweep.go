@@ -25,16 +25,19 @@
 //     field, or DeriveSeed(cfg.Seed, index) when the field is zero —
 //     never anything drawn during execution.
 //
-// Progress events (telemetry.KSweepStart/KSweepJob/KSweepDone) are
-// published on the coordinating goroutine only, in completion order;
-// they exist for interactive feedback and are the one output of a sweep
-// that is *not* covered by the determinism contract.
+// Progress events (telemetry.KSweepStart/KSweepJob/KSweepDone) and the
+// engine's performance telemetry (KSweepJobTime per job, KSweepWorker
+// per worker, wall seconds on KSweepDone) are published on the
+// coordinating goroutine only, in completion order; they exist for
+// interactive feedback and engine profiling and are the one output of a
+// sweep that is *not* covered by the determinism contract.
 package sweep
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"rrtcp/internal/telemetry"
 )
@@ -118,10 +121,41 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 	results := make([]any, n)
 	errs := make([]error, n)
 
+	// Wall-clock performance telemetry: per-job latency and per-worker
+	// busy time. Like the progress kinds, these are measurements of the
+	// engine itself — inherently nondeterministic — and ride the same
+	// coordinator-only progress bus, exempt from the determinism
+	// contract. Timing is gated on an enabled bus so a silent sweep
+	// pays nothing.
+	timed := cfg.Telemetry.Enabled()
+	var (
+		jobWall    []float64 // seconds, indexed by job; written before the job's done-send
+		jobWorker  []int     // worker that ran the job
+		workerBusy = make([]float64, workers)
+		workerJobs = make([]uint64, workers)
+		sweepStart time.Time
+	)
+	if timed {
+		jobWall = make([]float64, n)
+		jobWorker = make([]int, n)
+		sweepStart = time.Now()
+	}
+
 	if workers == 1 {
 		for i := range jobs {
-			results[i], errs[i] = runJob(jobs[i], seeds[i])
+			if timed {
+				start := time.Now()
+				results[i], errs[i] = runJob(jobs[i], seeds[i])
+				jobWall[i] = time.Since(start).Seconds()
+			} else {
+				results[i], errs[i] = runJob(jobs[i], seeds[i])
+			}
 			publishJob(cfg, jobs[i].Name, i, i+1, n)
+			if timed {
+				publishJobTime(cfg, jobs[i].Name, i, jobWall[i], 0)
+				workerBusy[0] += jobWall[i]
+				workerJobs[0]++
+			}
 		}
 	} else {
 		idx := make(chan int)
@@ -129,13 +163,20 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for i := range idx {
-					results[i], errs[i] = runJob(jobs[i], seeds[i])
+					if timed {
+						start := time.Now()
+						results[i], errs[i] = runJob(jobs[i], seeds[i])
+						jobWall[i] = time.Since(start).Seconds()
+						jobWorker[i] = w
+					} else {
+						results[i], errs[i] = runJob(jobs[i], seeds[i])
+					}
 					done <- i
 				}
-			}()
+			}(w)
 		}
 		go func() {
 			for i := range jobs {
@@ -149,13 +190,29 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 		for completed := 1; completed <= n; completed++ {
 			i := <-done
 			publishJob(cfg, jobs[i].Name, i, completed, n)
+			if timed {
+				publishJobTime(cfg, jobs[i].Name, i, jobWall[i], jobWorker[i])
+				workerBusy[jobWorker[i]] += jobWall[i]
+				workerJobs[jobWorker[i]]++
+			}
 		}
 		wg.Wait()
 	}
 
+	var sweepWall float64
+	if timed {
+		sweepWall = time.Since(sweepStart).Seconds()
+		for w := 0; w < workers; w++ {
+			cfg.Telemetry.Publish(telemetry.Event{
+				Comp: telemetry.CompSweep, Kind: telemetry.KSweepWorker,
+				Src: fmt.Sprintf("%d", w), Flow: telemetry.NoFlow,
+				A: workerBusy[w], B: float64(workerJobs[w]),
+			})
+		}
+	}
 	cfg.Telemetry.Publish(telemetry.Event{
 		Comp: telemetry.CompSweep, Kind: telemetry.KSweepDone,
-		Src: cfg.Name, Flow: telemetry.NoFlow, A: float64(n),
+		Src: cfg.Name, Flow: telemetry.NoFlow, A: float64(n), B: sweepWall,
 	})
 
 	for i, err := range errs {
@@ -171,6 +228,14 @@ func publishJob(cfg Config, name string, index, completed, total int) {
 		Comp: telemetry.CompSweep, Kind: telemetry.KSweepJob,
 		Src: name, Flow: telemetry.NoFlow, Seq: int64(index),
 		A: float64(completed), B: float64(total),
+	})
+}
+
+func publishJobTime(cfg Config, name string, index int, wall float64, worker int) {
+	cfg.Telemetry.Publish(telemetry.Event{
+		Comp: telemetry.CompSweep, Kind: telemetry.KSweepJobTime,
+		Src: name, Flow: telemetry.NoFlow, Seq: int64(index),
+		A: wall, B: float64(worker),
 	})
 }
 

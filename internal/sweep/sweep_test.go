@@ -154,20 +154,21 @@ func TestRunPublishesProgress(t *testing.T) {
 		t.Fatal(err)
 	}
 	evs := ring.Events()
-	if len(evs) != len(jobs)+2 {
-		t.Fatalf("%d progress events, want %d", len(evs), len(jobs)+2)
-	}
 	if evs[0].Kind != telemetry.KSweepStart || evs[0].Src != "prog" {
 		t.Fatalf("first event %+v, want sweep-start", evs[0])
 	}
 	if last := evs[len(evs)-1]; last.Kind != telemetry.KSweepDone {
 		t.Fatalf("last event %+v, want sweep-done", last)
 	}
+	if n := len(ring.EventsOf(telemetry.KSweepStart)); n != 1 {
+		t.Fatalf("%d sweep-start events, want 1", n)
+	}
+	progress := ring.EventsOf(telemetry.KSweepJob)
+	if len(progress) != len(jobs) {
+		t.Fatalf("%d sweep-job events, want %d", len(progress), len(jobs))
+	}
 	seenIdx := map[int64]bool{}
-	for _, ev := range evs[1 : len(evs)-1] {
-		if ev.Kind != telemetry.KSweepJob {
-			t.Fatalf("mid event %+v, want sweep-job", ev)
-		}
+	for _, ev := range progress {
 		if ev.B != float64(len(jobs)) {
 			t.Fatalf("job event total %v, want %d", ev.B, len(jobs))
 		}
@@ -175,6 +176,61 @@ func TestRunPublishesProgress(t *testing.T) {
 	}
 	if len(seenIdx) != len(jobs) {
 		t.Fatalf("job events cover %d indices, want %d", len(seenIdx), len(jobs))
+	}
+}
+
+func TestRunPublishesEngineTiming(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ring := telemetry.NewRing(0)
+		bus := telemetry.NewBus(ring)
+		jobs := make([]Job, 6)
+		for i := range jobs {
+			jobs[i] = spinJob(200 + i)
+		}
+		if _, err := Run(Config{Name: "perf", Workers: workers, Telemetry: bus}, jobs); err != nil {
+			t.Fatal(err)
+		}
+		times := ring.EventsOf(telemetry.KSweepJobTime)
+		if len(times) != len(jobs) {
+			t.Fatalf("workers=%d: %d job-time events, want %d", workers, len(times), len(jobs))
+		}
+		seen := map[int64]bool{}
+		for _, ev := range times {
+			if ev.A < 0 {
+				t.Fatalf("negative job wall time %v", ev.A)
+			}
+			if int(ev.B) < 0 || int(ev.B) >= workers {
+				t.Fatalf("workers=%d: job on worker %v", workers, ev.B)
+			}
+			seen[ev.Seq] = true
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("job-time events cover %d indices, want %d", len(seen), len(jobs))
+		}
+		wk := ring.EventsOf(telemetry.KSweepWorker)
+		if len(wk) != workers {
+			t.Fatalf("%d worker events, want %d", len(wk), workers)
+		}
+		var jobsRun float64
+		for _, ev := range wk {
+			jobsRun += ev.B
+		}
+		if int(jobsRun) != len(jobs) {
+			t.Fatalf("worker events account for %v jobs, want %d", jobsRun, len(jobs))
+		}
+		done := ring.EventsOf(telemetry.KSweepDone)
+		if len(done) != 1 || done[0].B <= 0 {
+			t.Fatalf("sweep-done = %+v, want one event with wall seconds", done)
+		}
+	}
+}
+
+func TestRunSilentBusSkipsTiming(t *testing.T) {
+	// With no telemetry configured the engine must not publish (or
+	// measure) anything — exercised via a bus with no sinks.
+	jobs := []Job{spinJob(10)}
+	if _, err := Run(Config{Name: "quiet", Workers: 1, Telemetry: telemetry.NewBus()}, jobs); err != nil {
+		t.Fatal(err)
 	}
 }
 

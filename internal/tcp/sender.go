@@ -275,6 +275,21 @@ func (s *Sender) Emit(comp telemetry.Component, kind telemetry.Kind, seq int64, 
 	s.bus.Publish(ev)
 }
 
+// SampleGauges implements telemetry.GaugeSource: the periodic Sampler
+// calls it to record the window/RTT state the paper's figures plot.
+// Strategies that track actnum (RR) expose it through an optional
+// accessor and get an extra gauge.
+func (s *Sender) SampleGauges(emit func(gauge string, v float64)) {
+	emit("cwnd", s.cwnd)
+	emit("ssthresh", s.ssthresh)
+	emit("srtt", s.rtt.SRTT())
+	emit("rto", s.currentRTO().Seconds())
+	emit("flight", float64(s.FlightPackets()))
+	if a, ok := s.strat.(interface{ Actnum() int }); ok {
+		emit("actnum", float64(a.Actnum()))
+	}
+}
+
 // TotalBytes returns the configured transfer size (Infinite if unbounded).
 func (s *Sender) TotalBytes() int64 { return s.cfg.TotalBytes }
 

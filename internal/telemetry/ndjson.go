@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
+
+	"rrtcp/internal/sim"
 )
 
 // NDJSONSink streams events as newline-delimited JSON, one object per
@@ -128,6 +131,35 @@ type Record struct {
 	Flow  int32              // NoFlow when absent
 	Seq   int64              //
 	Attrs map[string]float64 // kind-specific attributes ("cwnd", "actnum", ...)
+}
+
+// Event converts a decoded record back into the bus event it was
+// written from, restoring A/B from the kind's attribute names. The
+// second return is false when the component or kind name is not part of
+// the current vocabulary (a log from a newer build, or foreign JSON
+// that happened to parse).
+func (r Record) Event() (Event, bool) {
+	comp := ParseComponent(r.Comp)
+	kind := ParseKind(r.Kind)
+	if comp == 0 || kind == 0 {
+		return Event{}, false
+	}
+	ev := Event{
+		At:   sim.Time(math.Round(r.T * 1e9)),
+		Comp: comp,
+		Kind: kind,
+		Src:  r.Src,
+		Flow: r.Flow,
+		Seq:  r.Seq,
+	}
+	aName, bName := kind.attrNames()
+	if aName != "" {
+		ev.A = r.Attrs[aName]
+	}
+	if bName != "" {
+		ev.B = r.Attrs[bName]
+	}
+	return ev, true
 }
 
 // Attr returns a named attribute, or def when absent.

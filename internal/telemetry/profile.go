@@ -10,7 +10,8 @@ import (
 // that publishes one KSchedProfile event every `every` processed
 // events: total events processed (Seq), current heap depth (A), and
 // wall-clock seconds spent per simulated second since the previous
-// sample (B, 0 on the first sample or when sim time stood still).
+// sample (B; the first sample rates against the attach instant, and B
+// is 0 when sim time stood still).
 //
 // The wall-time attribute is the one intentionally nondeterministic
 // value in the event stream — it measures the simulator, not the

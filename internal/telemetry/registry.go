@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"rrtcp/internal/sim"
 	"rrtcp/internal/stats"
 )
 
@@ -17,6 +18,7 @@ type Registry struct {
 	counters map[string]uint64
 	gauges   map[string]float64
 	hists    map[string]*Histogram
+	logHists map[string]*stats.LogHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -25,6 +27,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]uint64),
 		gauges:   make(map[string]float64),
 		hists:    make(map[string]*Histogram),
+		logHists: make(map[string]*stats.LogHistogram),
 	}
 }
 
@@ -53,6 +56,22 @@ func (r *Registry) Observe(name string, v float64) {
 
 // Hist returns the named histogram, or nil.
 func (r *Registry) Hist(name string) *Histogram { return r.hists[name] }
+
+// ObserveLog appends a sample to the named log-bucketed histogram,
+// creating it on first use. Unlike Observe it retains no raw samples,
+// so it is the right shape for unbounded streams — episode durations
+// over a long sweep, per-job wall latencies.
+func (r *Registry) ObserveLog(name string, v float64) {
+	h := r.logHists[name]
+	if h == nil {
+		h = stats.NewLogHistogram()
+		r.logHists[name] = h
+	}
+	h.Observe(v)
+}
+
+// LogHist returns the named log-bucketed histogram, or nil.
+func (r *Registry) LogHist(name string) *stats.LogHistogram { return r.logHists[name] }
 
 // Histogram retains raw samples and summarizes them through
 // internal/stats (mean, percentiles). Event volumes here are bounded
@@ -90,6 +109,9 @@ func (r *Registry) Snapshot() string {
 	for n := range r.hists {
 		names = append(names, "h "+n)
 	}
+	for n := range r.logHists {
+		names = append(names, "l "+n)
+	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, tagged := range names {
@@ -103,6 +125,10 @@ func (r *Registry) Snapshot() string {
 			h := r.hists[name]
 			fmt.Fprintf(&b, "%-40s n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n",
 				name, h.Count(), h.Mean(), h.Quantile(50), h.Quantile(99), h.Max())
+		case "l":
+			h := r.logHists[name]
+			fmt.Fprintf(&b, "%-40s n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n",
+				name, h.Count(), h.Mean(), h.Quantile(50), h.Quantile(99), h.Max())
 		}
 	}
 	return b.String()
@@ -113,10 +139,16 @@ func (r *Registry) Snapshot() string {
 // and per-sender recovery counters without touching the publishers.
 type MetricsSink struct {
 	R *Registry
+
+	// recEnter remembers each flow's open recovery-enter time so exit
+	// can feed the episode-duration distribution.
+	recEnter map[int32]sim.Time
 }
 
 // NewMetricsSink returns a sink feeding a fresh registry.
-func NewMetricsSink() *MetricsSink { return &MetricsSink{R: NewRegistry()} }
+func NewMetricsSink() *MetricsSink {
+	return &MetricsSink{R: NewRegistry(), recEnter: make(map[int32]sim.Time)}
+}
 
 // Emit implements Sink.
 func (m *MetricsSink) Emit(ev Event) {
@@ -129,6 +161,16 @@ func (m *MetricsSink) Emit(ev Event) {
 		m.R.Inc(flowKey("sender", ev.Flow, "timeouts"), 1)
 	case KRecoveryEnter:
 		m.R.Inc(flowKey("sender", ev.Flow, "fast_retransmits"), 1)
+		if m.recEnter != nil {
+			m.recEnter[ev.Flow] = ev.At
+		}
+	case KRecoveryExit:
+		if m.recEnter != nil {
+			if enter, ok := m.recEnter[ev.Flow]; ok {
+				m.R.ObserveLog(flowKey("sender", ev.Flow, "episode_s"), (ev.At - enter).Seconds())
+				delete(m.recEnter, ev.Flow)
+			}
+		}
 	case KFurtherLoss:
 		m.R.Inc(flowKey("sender", ev.Flow, "further_losses"), 1)
 	case KCwnd:
@@ -162,6 +204,21 @@ func (m *MetricsSink) Emit(ev Event) {
 		m.R.Observe("sim.heap_depth_hist", ev.A)
 		if ev.B > 0 {
 			m.R.SetGauge("sim.wall_per_sim_s", ev.B)
+		}
+	case KSample:
+		if ev.Flow != NoFlow {
+			m.R.SetGauge(flowKey("sender", ev.Flow, "sample."+ev.Src), ev.A)
+		} else {
+			m.R.SetGauge(ev.Comp.String()+"."+ev.Src+".sample", ev.A)
+		}
+	case KSweepJobTime:
+		m.R.ObserveLog("sweep.job_latency_s", ev.A)
+	case KSweepWorker:
+		m.R.SetGauge(srcKey("sweep.worker", ev.Src, "busy_s"), ev.A)
+		m.R.SetGauge(srcKey("sweep.worker", ev.Src, "jobs"), ev.B)
+	case KSweepDone:
+		if ev.B > 0 {
+			m.R.SetGauge("sweep.wall_s", ev.B)
 		}
 	}
 }

@@ -1,0 +1,363 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rrtcp/internal/sim"
+)
+
+// The span layer turns the bus's point events into intervals: a
+// recovery episode is not one event but a region of time with internal
+// structure (the retreat→probe split, further-loss detections, actnum
+// updates), and the questions the paper asks — how long did probe last,
+// how did actnum evolve across it — are questions about that region.
+// SpanSink is a bus subscriber that assembles the intervals online;
+// RenderSpans and WriteChromeTrace are its text and Perfetto exports.
+
+// SpanKind classifies a span.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// SpanConn covers a connection's lifetime: first sender event
+	// through the flow-done event.
+	SpanConn SpanKind = iota + 1
+	// SpanRecovery covers one loss-recovery episode
+	// (recovery-enter → recovery-exit).
+	SpanRecovery
+	// SpanRetreat is RR's back-off sub-phase, a child of SpanRecovery.
+	SpanRetreat
+	// SpanProbe is RR's conservative-growth sub-phase, a child of
+	// SpanRecovery.
+	SpanProbe
+	// SpanQueueBusy covers a bottleneck-queue busy period: first
+	// enqueue into an empty queue through the transmission that drains
+	// it.
+	SpanQueueBusy
+)
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanConn:
+		return "conn"
+	case SpanRecovery:
+		return "recovery"
+	case SpanRetreat:
+		return "retreat"
+	case SpanProbe:
+		return "probe"
+	case SpanQueueBusy:
+		return "queue-busy"
+	default:
+		return "?"
+	}
+}
+
+// SpanEvent is a point event attached to a span (a further-loss
+// detection, an actnum update) — an instant, not an interval.
+type SpanEvent struct {
+	At   sim.Time
+	Name string
+	A, B float64
+}
+
+// Span is one assembled interval. IDs are assigned in open order on the
+// single simulation goroutine, so they are deterministic.
+type Span struct {
+	ID     int
+	Parent int // parent span ID, or -1 for a root span
+	Kind   SpanKind
+	Flow   int32 // NoFlow for instance-scoped spans (queues)
+	Src    string
+	// Seg is the stream segment the span belongs to. A segment rolls
+	// whenever sim time regresses in the event stream — which happens
+	// when several runs are republished back-to-back onto one bus (the
+	// fig5 multi-variant export) — so spans from different runs never
+	// interleave.
+	Seg   int
+	Begin sim.Time
+	End   sim.Time
+	// Open marks a span that never saw its closing event (a truncated
+	// log, or the segment rolled underneath it); End then holds the
+	// last time seen in the segment.
+	Open   bool
+	Attrs  map[string]float64
+	Events []SpanEvent
+}
+
+// Duration reports End − Begin.
+func (s *Span) Duration() sim.Time { return s.End - s.Begin }
+
+func (s *Span) attr(name string, v float64) {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]float64, 4)
+	}
+	s.Attrs[name] = v
+}
+
+// SpanSink assembles spans from the event stream. It is a Sink; attach
+// it to a bus (or feed decoded records through Emit via Record.Event).
+// A nil *SpanSink is a valid no-op, mirroring the nil-bus null default.
+type SpanSink struct {
+	spans []*Span
+
+	seg  int
+	last sim.Time
+	any  bool
+
+	conn map[int32]*Span // open connection span per flow
+	rec  map[int32]*Span // open recovery episode per flow
+	sub  map[int32]*Span // open retreat/probe child per flow
+	busy map[string]*Span
+}
+
+// NewSpanSink returns an empty span assembler.
+func NewSpanSink() *SpanSink {
+	return &SpanSink{
+		conn: make(map[int32]*Span),
+		rec:  make(map[int32]*Span),
+		sub:  make(map[int32]*Span),
+		busy: make(map[string]*Span),
+	}
+}
+
+func (s *SpanSink) open(kind SpanKind, flow int32, src string, parent int, at sim.Time) *Span {
+	sp := &Span{
+		ID:     len(s.spans),
+		Parent: parent,
+		Kind:   kind,
+		Flow:   flow,
+		Src:    src,
+		Seg:    s.seg,
+		Begin:  at,
+		End:    at,
+		Open:   true,
+	}
+	s.spans = append(s.spans, sp)
+	return sp
+}
+
+func closeSpan(sp *Span, at sim.Time) {
+	if sp == nil {
+		return
+	}
+	sp.End = at
+	sp.Open = false
+}
+
+// rollSegment abandons all open spans (they stay Open with End at the
+// last time seen) and starts a fresh segment.
+func (s *SpanSink) rollSegment() {
+	for _, sp := range s.spans {
+		if sp.Open && sp.Seg == s.seg {
+			sp.End = s.last
+		}
+	}
+	s.seg++
+	clear(s.conn)
+	clear(s.rec)
+	clear(s.sub)
+	clear(s.busy)
+}
+
+// Emit implements Sink.
+func (s *SpanSink) Emit(ev Event) {
+	if s == nil {
+		return
+	}
+	// Sweep progress events fire on the coordinating goroutine at t=0
+	// between simulations; they are not part of any run's timeline.
+	if ev.Comp == CompSweep {
+		return
+	}
+	if s.any && ev.At < s.last {
+		s.rollSegment()
+	}
+	s.any = true
+	s.last = ev.At
+
+	// Connection lifetime: opened lazily by the first flow-scoped
+	// sender/receiver/RR event, closed by flow-done. Gauge samples are
+	// passive instrumentation, not connection activity — a sampler tick
+	// landing after flow-done must not resurrect the span.
+	if ev.Flow != NoFlow && ev.Kind != KSample {
+		switch ev.Comp {
+		case CompSender, CompRecv, CompRR:
+			if s.conn[ev.Flow] == nil {
+				s.conn[ev.Flow] = s.open(SpanConn, ev.Flow, "", -1, ev.At)
+			}
+		}
+	}
+
+	switch ev.Kind {
+	case KFlowDone:
+		closeSpan(s.conn[ev.Flow], ev.At)
+		delete(s.conn, ev.Flow)
+
+	case KRecoveryEnter:
+		parent := -1
+		if c := s.conn[ev.Flow]; c != nil {
+			parent = c.ID
+		}
+		rec := s.open(SpanRecovery, ev.Flow, "", parent, ev.At)
+		rec.attr("enter_cwnd", ev.A)
+		rec.attr("ssthresh", ev.B)
+		s.rec[ev.Flow] = rec
+		// Only RR has the retreat/probe split; baseline variants emit
+		// recovery-enter from the sender path and get a flat episode.
+		if ev.Comp == CompRR {
+			s.sub[ev.Flow] = s.open(SpanRetreat, ev.Flow, "", rec.ID, ev.At)
+		}
+
+	case KRetreatProbe:
+		rec := s.rec[ev.Flow]
+		if rec == nil {
+			return
+		}
+		closeSpan(s.sub[ev.Flow], ev.At)
+		probe := s.open(SpanProbe, ev.Flow, "", rec.ID, ev.At)
+		probe.attr("actnum", ev.A)
+		s.sub[ev.Flow] = probe
+
+	case KFurtherLoss, KActnum:
+		rec := s.rec[ev.Flow]
+		if rec == nil {
+			return
+		}
+		// Instants attach to the innermost open span — the retreat or
+		// probe sub-phase when RR is active — so the exported trace
+		// keeps them inside the slice they occurred in.
+		target := rec
+		if sub := s.sub[ev.Flow]; sub != nil {
+			target = sub
+		}
+		target.Events = append(target.Events, SpanEvent{At: ev.At, Name: ev.Kind.String(), A: ev.A, B: ev.B})
+		if ev.Kind == KFurtherLoss {
+			rec.attr("further_losses", rec.Attrs["further_losses"]+1)
+		}
+
+	case KRecoveryExit:
+		rec := s.rec[ev.Flow]
+		if rec == nil {
+			return
+		}
+		closeSpan(s.sub[ev.Flow], ev.At)
+		delete(s.sub, ev.Flow)
+		rec.attr("exit_cwnd", ev.A)
+		closeSpan(rec, ev.At)
+		delete(s.rec, ev.Flow)
+
+	case KEnqueue:
+		if ev.Comp == CompQueue && s.busy[ev.Src] == nil {
+			s.busy[ev.Src] = s.open(SpanQueueBusy, NoFlow, ev.Src, -1, ev.At)
+		}
+
+	case KLinkTx:
+		// The link leaving zero occupancy behind ends the busy period.
+		if ev.B == 0 {
+			if sp := s.busy[ev.Src]; sp != nil {
+				closeSpan(sp, ev.At)
+				delete(s.busy, ev.Src)
+			}
+		}
+	}
+}
+
+// Spans returns the assembled spans in open order. Spans still open
+// (truncated stream) keep Open=true with End at the last time seen in
+// their segment.
+func (s *SpanSink) Spans() []*Span {
+	if s == nil {
+		return nil
+	}
+	for _, sp := range s.spans {
+		if sp.Open && sp.Seg == s.seg {
+			sp.End = s.last
+		}
+	}
+	return s.spans
+}
+
+// AssembleSpans runs decoded NDJSON records through a SpanSink — the
+// offline (rrtrace) path to the same assembly the live sink performs.
+func AssembleSpans(records []Record) []*Span {
+	sink := NewSpanSink()
+	for _, rec := range records {
+		if ev, ok := rec.Event(); ok {
+			sink.Emit(ev)
+		}
+	}
+	return sink.Spans()
+}
+
+// RenderSpans formats spans as an indented tree, one segment per block,
+// children nested under their parents in time order.
+func RenderSpans(spans []*Span) string {
+	var b strings.Builder
+	if len(spans) == 0 {
+		b.WriteString("no spans\n")
+		return b.String()
+	}
+	children := make(map[int][]*Span)
+	var roots []*Span
+	for _, sp := range spans {
+		if sp.Parent < 0 {
+			roots = append(roots, sp)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+	seg := -1
+	var render func(sp *Span, depth int)
+	render = func(sp *Span, depth int) {
+		indent := strings.Repeat("  ", depth)
+		label := sp.Kind.String()
+		if sp.Src != "" {
+			label += " " + sp.Src
+		}
+		if sp.Flow != NoFlow {
+			label += fmt.Sprintf(" flow=%d", sp.Flow)
+		}
+		open := ""
+		if sp.Open {
+			open = "  [open]"
+		}
+		fmt.Fprintf(&b, "%s%-28s %11.6f .. %11.6f  (%9.6fs)%s%s\n",
+			indent, label, sp.Begin.Seconds(), sp.End.Seconds(),
+			sp.Duration().Seconds(), renderAttrs(sp.Attrs), open)
+		for _, evt := range sp.Events {
+			fmt.Fprintf(&b, "%s  @%.6f %s a=%g b=%g\n",
+				indent, evt.At.Seconds(), evt.Name, evt.A, evt.B)
+		}
+		for _, c := range children[sp.ID] {
+			render(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		if sp.Seg != seg {
+			seg = sp.Seg
+			fmt.Fprintf(&b, "segment %d\n", seg)
+		}
+		render(sp, 1)
+	}
+	return b.String()
+}
+
+func renderAttrs(attrs map[string]float64) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(attrs))
+	for k := range attrs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "  %s=%g", k, attrs[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rrtcp/internal/sim"
+)
+
+func ms(n int) sim.Time { return sim.Time(n) * time.Millisecond }
+
+// rrEpisode publishes a canonical single-loss RR episode for flow 0:
+// send → recovery-enter (retreat) → retreat-probe → actnum ticks →
+// recovery-exit → done.
+func rrEpisode(sink Sink) {
+	emit := func(ev Event) { sink.Emit(ev) }
+	emit(Event{At: ms(0), Comp: CompSender, Kind: KSend, Flow: 0, Seq: 1000})
+	emit(Event{At: ms(100), Comp: CompRR, Kind: KRecoveryEnter, Flow: 0, A: 16, B: 8})
+	emit(Event{At: ms(150), Comp: CompRR, Kind: KRetreatProbe, Flow: 0, A: 8})
+	emit(Event{At: ms(200), Comp: CompRR, Kind: KActnum, Flow: 0, A: 8, B: 0})
+	emit(Event{At: ms(250), Comp: CompRR, Kind: KActnum, Flow: 0, A: 9, B: 0})
+	emit(Event{At: ms(300), Comp: CompRR, Kind: KRecoveryExit, Flow: 0, A: 9})
+	emit(Event{At: ms(500), Comp: CompSender, Kind: KFlowDone, Flow: 0})
+}
+
+func spansOf(all []*Span, kind SpanKind) []*Span {
+	var out []*Span
+	for _, sp := range all {
+		if sp.Kind == kind {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func TestSpanSinkAssemblesRREpisode(t *testing.T) {
+	sink := NewSpanSink()
+	rrEpisode(sink)
+	spans := sink.Spans()
+
+	conns := spansOf(spans, SpanConn)
+	if len(conns) != 1 {
+		t.Fatalf("conn spans = %d, want 1", len(conns))
+	}
+	conn := conns[0]
+	if conn.Begin != ms(0) || conn.End != ms(500) || conn.Open {
+		t.Fatalf("conn span = %+v", conn)
+	}
+
+	recs := spansOf(spans, SpanRecovery)
+	if len(recs) != 1 {
+		t.Fatalf("recovery spans = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Parent != conn.ID {
+		t.Fatalf("recovery parent = %d, want conn %d", rec.Parent, conn.ID)
+	}
+	if rec.Begin != ms(100) || rec.End != ms(300) || rec.Open {
+		t.Fatalf("recovery span = %+v", rec)
+	}
+	if rec.Attrs["enter_cwnd"] != 16 || rec.Attrs["ssthresh"] != 8 || rec.Attrs["exit_cwnd"] != 9 {
+		t.Fatalf("recovery attrs = %v", rec.Attrs)
+	}
+
+	retreats := spansOf(spans, SpanRetreat)
+	probes := spansOf(spans, SpanProbe)
+	if len(retreats) != 1 || len(probes) != 1 {
+		t.Fatalf("retreat/probe = %d/%d, want 1/1", len(retreats), len(probes))
+	}
+	if retreats[0].Parent != rec.ID || probes[0].Parent != rec.ID {
+		t.Fatal("sub-phases not parented to the recovery span")
+	}
+	if retreats[0].Begin != ms(100) || retreats[0].End != ms(150) {
+		t.Fatalf("retreat = %v..%v", retreats[0].Begin, retreats[0].End)
+	}
+	if probes[0].Begin != ms(150) || probes[0].End != ms(300) {
+		t.Fatalf("probe = %v..%v", probes[0].Begin, probes[0].End)
+	}
+	if probes[0].Attrs["actnum"] != 8 {
+		t.Fatalf("probe attrs = %v", probes[0].Attrs)
+	}
+	// The actnum instants land inside the probe sub-phase, where they
+	// happened.
+	if len(probes[0].Events) != 2 || probes[0].Events[0].Name != "actnum" {
+		t.Fatalf("probe events = %+v", probes[0].Events)
+	}
+}
+
+func TestSpanSinkBaselineEpisodeHasNoSubPhases(t *testing.T) {
+	sink := NewSpanSink()
+	sink.Emit(Event{At: ms(0), Comp: CompSender, Kind: KSend, Flow: 0})
+	sink.Emit(Event{At: ms(100), Comp: CompSender, Kind: KRecoveryEnter, Flow: 0, A: 16, B: 8})
+	sink.Emit(Event{At: ms(200), Comp: CompSender, Kind: KRecoveryExit, Flow: 0, A: 8})
+	spans := sink.Spans()
+	if n := len(spansOf(spans, SpanRecovery)); n != 1 {
+		t.Fatalf("recovery spans = %d, want 1", n)
+	}
+	if n := len(spansOf(spans, SpanRetreat)) + len(spansOf(spans, SpanProbe)); n != 0 {
+		t.Fatalf("baseline episode grew %d sub-phase spans, want 0", n)
+	}
+}
+
+func TestSpanSinkFurtherLoss(t *testing.T) {
+	sink := NewSpanSink()
+	sink.Emit(Event{At: ms(100), Comp: CompRR, Kind: KRecoveryEnter, Flow: 0, A: 16, B: 8})
+	sink.Emit(Event{At: ms(150), Comp: CompRR, Kind: KRetreatProbe, Flow: 0, A: 8})
+	sink.Emit(Event{At: ms(180), Comp: CompRR, Kind: KFurtherLoss, Flow: 0, A: 7, B: 2})
+	sink.Emit(Event{At: ms(220), Comp: CompRR, Kind: KFurtherLoss, Flow: 0, A: 5, B: 1})
+	sink.Emit(Event{At: ms(400), Comp: CompRR, Kind: KRecoveryExit, Flow: 0, A: 5})
+	rec := spansOf(sink.Spans(), SpanRecovery)[0]
+	if rec.Attrs["further_losses"] != 2 {
+		t.Fatalf("further_losses = %v, want 2", rec.Attrs["further_losses"])
+	}
+	probe := spansOf(sink.Spans(), SpanProbe)[0]
+	if len(probe.Events) != 2 || probe.Events[1].Name != "further-loss" || probe.Events[1].A != 5 {
+		t.Fatalf("events = %+v", probe.Events)
+	}
+}
+
+func TestSpanSinkQueueBusyPeriod(t *testing.T) {
+	sink := NewSpanSink()
+	sink.Emit(Event{At: ms(10), Comp: CompQueue, Kind: KEnqueue, Src: "fwd", Flow: NoFlow, A: 1})
+	sink.Emit(Event{At: ms(20), Comp: CompQueue, Kind: KEnqueue, Src: "fwd", Flow: NoFlow, A: 2})
+	sink.Emit(Event{At: ms(30), Comp: CompLink, Kind: KLinkTx, Src: "fwd", Flow: NoFlow, A: 1000, B: 1})
+	sink.Emit(Event{At: ms(40), Comp: CompLink, Kind: KLinkTx, Src: "fwd", Flow: NoFlow, A: 1000, B: 0})
+	sink.Emit(Event{At: ms(60), Comp: CompQueue, Kind: KEnqueue, Src: "fwd", Flow: NoFlow, A: 1})
+	spans := spansOf(sink.Spans(), SpanQueueBusy)
+	if len(spans) != 2 {
+		t.Fatalf("busy periods = %d, want 2", len(spans))
+	}
+	if spans[0].Begin != ms(10) || spans[0].End != ms(40) || spans[0].Open {
+		t.Fatalf("first busy period = %+v", spans[0])
+	}
+	if spans[1].Begin != ms(60) || !spans[1].Open {
+		t.Fatalf("second busy period = %+v", spans[1])
+	}
+}
+
+func TestSpanSinkSegmentsOnTimeRegression(t *testing.T) {
+	sink := NewSpanSink()
+	rrEpisode(sink)
+	rrEpisode(sink) // republished second run: time restarts at 0
+	spans := sink.Spans()
+	recs := spansOf(spans, SpanRecovery)
+	if len(recs) != 2 {
+		t.Fatalf("recovery spans = %d, want 2", len(recs))
+	}
+	if recs[0].Seg != 0 || recs[1].Seg != 1 {
+		t.Fatalf("segments = %d/%d, want 0/1", recs[0].Seg, recs[1].Seg)
+	}
+	if recs[1].Open {
+		t.Fatal("second segment's episode should be closed")
+	}
+}
+
+func TestSpanSinkIgnoresSweepProgress(t *testing.T) {
+	sink := NewSpanSink()
+	sink.Emit(Event{At: ms(100), Comp: CompSender, Kind: KSend, Flow: 0})
+	// Progress events carry At=0; they must not roll the segment.
+	sink.Emit(Event{At: 0, Comp: CompSweep, Kind: KSweepJob, Flow: NoFlow})
+	sink.Emit(Event{At: ms(200), Comp: CompSender, Kind: KFlowDone, Flow: 0})
+	spans := sink.Spans()
+	if len(spans) != 1 || spans[0].Seg != 0 || spans[0].Open {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestSpanSinkNilSafe(t *testing.T) {
+	var sink *SpanSink
+	sink.Emit(Event{At: ms(1), Comp: CompSender, Kind: KSend})
+	if sink.Spans() != nil {
+		t.Fatal("nil sink returned spans")
+	}
+}
+
+func TestRenderSpansShape(t *testing.T) {
+	sink := NewSpanSink()
+	rrEpisode(sink)
+	out := RenderSpans(sink.Spans())
+	for _, want := range []string{"segment 0", "conn flow=0", "recovery flow=0", "retreat", "probe", "enter_cwnd=16", "@0.200000 actnum"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAssembleSpansFromRecords(t *testing.T) {
+	ring := NewRing(0)
+	sinks := NewBus(ring)
+	rrEpisode(busAdapter{sinks})
+	var sb strings.Builder
+	nd := NewNDJSONSink(&sb)
+	for _, ev := range ring.Events() {
+		nd.Emit(ev)
+	}
+	nd.Flush()
+	records, err := DecodeNDJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := AssembleSpans(records)
+	if len(spansOf(spans, SpanRecovery)) != 1 || len(spansOf(spans, SpanProbe)) != 1 {
+		t.Fatalf("offline assembly differs: %s", RenderSpans(spans))
+	}
+}
+
+// busAdapter lets the helper publish through a bus as if it were a sink.
+type busAdapter struct{ b *Bus }
+
+func (a busAdapter) Emit(ev Event) { a.b.Publish(ev) }
+
+func TestRecordEventRoundTrip(t *testing.T) {
+	in := Event{At: ms(1234), Comp: CompRR, Kind: KActnum, Flow: 3, Seq: 9000, A: 7, B: 2}
+	var sb strings.Builder
+	nd := NewNDJSONSink(&sb)
+	nd.Emit(in)
+	nd.Flush()
+	recs, err := DecodeNDJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := recs[0].Event()
+	if !ok {
+		t.Fatal("Event() rejected a round-tripped record")
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if _, ok := (Record{Comp: "martian", Kind: "ack"}).Event(); ok {
+		t.Fatal("unknown component accepted")
+	}
+}
+
+func BenchmarkRingEventsOf(b *testing.B) {
+	r := NewRing(0)
+	for i := 0; i < 4096; i++ {
+		kind := KSend
+		if i%8 == 0 {
+			kind = KDrop
+		}
+		r.Emit(Event{At: sim.Time(i), Kind: kind})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.EventsOf(KDrop); len(got) != 512 {
+			b.Fatalf("matches = %d", len(got))
+		}
+	}
+}

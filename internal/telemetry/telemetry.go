@@ -131,7 +131,18 @@ const (
 	// the sweep determinism contract.
 	KSweepStart // sweep began (Src=sweep name, A=jobs, B=workers)
 	KSweepJob   // one job finished (Src=job name, Seq=job index, A=completed, B=total)
-	KSweepDone  // sweep finished (Src=sweep name, A=jobs)
+	KSweepDone  // sweep finished (Src=sweep name, A=jobs, B=wall seconds)
+
+	// Periodic gauge sampling (the Sampler). Src names the gauge
+	// ("cwnd", "srtt", "qlen", ...); Flow scopes it to a connection or
+	// NoFlow for instance gauges; A is the sampled value.
+	KSample
+
+	// Sweep-engine performance telemetry. Like the progress kinds these
+	// fire on the coordinating goroutine with wall-clock measurements,
+	// so they are exempt from the determinism contract.
+	KSweepJobTime // one job's wall time (Src=job name, Seq=index, A=wall seconds, B=worker)
+	KSweepWorker  // one worker's totals at sweep end (Src=worker index, A=busy seconds, B=jobs run)
 
 	kindSentinel // keep last
 )
@@ -195,6 +206,12 @@ func (k Kind) String() string {
 		return "sweep-job"
 	case KSweepDone:
 		return "sweep-done"
+	case KSample:
+		return "sample"
+	case KSweepJobTime:
+		return "sweep-job-time"
+	case KSweepWorker:
+		return "sweep-worker"
 	default:
 		return "?"
 	}
@@ -245,7 +262,13 @@ func (k Kind) attrNames() (a, b string) {
 	case KSweepJob:
 		return "completed", "total"
 	case KSweepDone:
-		return "jobs", ""
+		return "jobs", "wall_s"
+	case KSample:
+		return "value", ""
+	case KSweepJobTime:
+		return "wall_s", "worker"
+	case KSweepWorker:
+		return "busy_s", "jobs"
 	default:
 		return "", ""
 	}
@@ -365,9 +388,26 @@ func (r *Ring) Events() []Event {
 }
 
 // EventsOf returns the retained events matching the kind, in order.
+// It counts matches first and allocates the result exactly once,
+// walking the ring segments in place rather than materializing a full
+// copy via Events.
 func (r *Ring) EventsOf(kind Kind) []Event {
-	var out []Event
-	for _, ev := range r.Events() {
+	n := 0
+	for i := range r.evs {
+		if r.evs[i].Kind == kind {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	for _, ev := range r.evs[r.start:] {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	for _, ev := range r.evs[:r.start] {
 		if ev.Kind == kind {
 			out = append(out, ev)
 		}

@@ -30,6 +30,7 @@ import (
 	"rrtcp/internal/netem"
 	"rrtcp/internal/scenario"
 	"rrtcp/internal/sim"
+	"rrtcp/internal/stats"
 	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/telemetry"
@@ -258,6 +259,90 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 // NewMetricsSink returns a sink aggregating events into a fresh
 // registry, exposed as its R field.
 func NewMetricsSink() *MetricsSink { return telemetry.NewMetricsSink() }
+
+// --- spans, sampled series, and trace export ---
+
+type (
+	// Span is one timed interval assembled from the event stream: a
+	// connection lifetime, a recovery episode, a retreat/probe
+	// sub-phase, or a queue busy period.
+	Span = telemetry.Span
+	// SpanKind discriminates the span types.
+	SpanKind = telemetry.SpanKind
+	// SpanEvent is an instantaneous marker attached to a span.
+	SpanEvent = telemetry.SpanEvent
+	// SpanSink assembles spans live from a telemetry bus.
+	SpanSink = telemetry.SpanSink
+	// Sampler periodically records gauge series (cwnd, ssthresh,
+	// actnum, srtt, rto, flight, queue occupancy) in simulated time.
+	Sampler = telemetry.Sampler
+	// TelemetryGaugeSource is implemented by components that expose
+	// gauges to a Sampler (senders, queues).
+	TelemetryGaugeSource = telemetry.GaugeSource
+	// Series is one sampled gauge time series.
+	Series = telemetry.Series
+	// SeriesSink collects sampled series live from a telemetry bus.
+	SeriesSink = telemetry.SeriesSink
+	// LogHistogram is a log-bucketed HDR-style histogram for latency
+	// and duration distributions.
+	LogHistogram = stats.LogHistogram
+	// TelemetryComponent identifies the component an event came from.
+	TelemetryComponent = telemetry.Component
+)
+
+// CompQueue labels queue-scoped telemetry — the component to pass when
+// wiring a Sampler to a queue instance via AddInstance.
+const CompQueue = telemetry.CompQueue
+
+// Span kinds assembled by SpanSink.
+const (
+	SpanConn      = telemetry.SpanConn
+	SpanRecovery  = telemetry.SpanRecovery
+	SpanRetreat   = telemetry.SpanRetreat
+	SpanProbe     = telemetry.SpanProbe
+	SpanQueueBusy = telemetry.SpanQueueBusy
+)
+
+// NewSpanSink returns a sink assembling spans from the event stream.
+func NewSpanSink() *SpanSink { return telemetry.NewSpanSink() }
+
+// NewSeriesSink returns a sink collecting sampled gauge series.
+func NewSeriesSink() *SeriesSink { return telemetry.NewSeriesSink() }
+
+// NewSampler returns a sampler publishing gauge samples on bus every
+// `every` of simulated time, or nil (a safe no-op) when telemetry is
+// disabled. Register sources with AddFlow/AddInstance, then Start.
+func NewSampler(s *Scheduler, bus *TelemetryBus, every Time) *Sampler {
+	return telemetry.NewSampler(s, bus, every)
+}
+
+// NewLogHistogram returns an empty log-bucketed histogram.
+func NewLogHistogram() *LogHistogram { return stats.NewLogHistogram() }
+
+// AssembleSpans builds the span tree from decoded NDJSON records.
+func AssembleSpans(records []telemetry.Record) []*Span { return telemetry.AssembleSpans(records) }
+
+// AssembleSeries builds sampled series from decoded NDJSON records.
+func AssembleSeries(records []telemetry.Record) []*Series { return telemetry.AssembleSeries(records) }
+
+// RenderSpans formats a span tree as an indented text listing.
+func RenderSpans(spans []*Span) string { return telemetry.RenderSpans(spans) }
+
+// WriteChromeTrace writes spans and series as Chrome trace-event JSON,
+// openable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []*Span, series []*Series) error {
+	return telemetry.WriteChromeTrace(w, spans, series)
+}
+
+// ValidateChromeTrace structurally checks Chrome trace-event JSON:
+// well-formed traceEvents, per-track monotone timestamps, balanced
+// begin/end pairs.
+func ValidateChromeTrace(data []byte) error { return telemetry.ValidateChromeTrace(data) }
+
+// WriteSeriesCSV writes sampled series as CSV (seg,comp,src,flow,t,value).
+func WriteSeriesCSV(w io.Writer, series []*Series) error {
+	return telemetry.WriteSeriesCSV(w, series)
+}
 
 // --- analytic models (paper §4) ---
 

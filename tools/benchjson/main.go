@@ -1,0 +1,99 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON object on stdout mapping benchmark name to its measurements:
+//
+//	go test -bench . -benchmem ./internal/telemetry/ | go run ./tools/benchjson > bench.json
+//
+//	{
+//	  "BenchmarkNDJSONEmit-8": {"ns_per_op": 71.2, "allocs_per_op": 0, "bytes_per_op": 0},
+//	  ...
+//	}
+//
+// Lines that are not benchmark results (PASS, ok, warm-up chatter) are
+// ignored. The command exits non-zero if no benchmark lines were found,
+// so a CI job cannot silently upload an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result holds one benchmark line's measurements. Memory fields are
+// zero when the input was produced without -benchmem.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results := map[string]result{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the stream so the raw log stays visible in CI output.
+		fmt.Fprintln(os.Stderr, line)
+		name, res, ok := parseLine(line)
+		if ok {
+			results[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin")
+	}
+	// encoding/json emits map keys in sorted order, so the artifact is
+	// deterministic for identical input.
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// parseLine decodes one `go test -bench` result line:
+//
+//	BenchmarkName-8   123456   71.2 ns/op   16 B/op   1 allocs/op
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	res := result{Iterations: iters, NsPerOp: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		}
+	}
+	if res.NsPerOp < 0 {
+		return "", result{}, false
+	}
+	return fields[0], res, true
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: rrtcp/internal/telemetry
+cpu: Fake CPU @ 2.40GHz
+BenchmarkNDJSONEmit-8   	16428披	bad line that must not parse
+BenchmarkNDJSONEmit-8   	16428000	        71.25 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRingEventsOf-8 	  512431	      2210 ns/op	    4096 B/op	       1 allocs/op
+BenchmarkFigure5NullSink-8	     100	  11520042 ns/op
+PASS
+ok  	rrtcp/internal/telemetry	4.812s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleBenchOutput), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got map[string]result
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	ndjson, ok := got["BenchmarkNDJSONEmit-8"]
+	if !ok {
+		t.Fatalf("missing BenchmarkNDJSONEmit-8 in %v", got)
+	}
+	if ndjson.NsPerOp != 71.25 || ndjson.AllocsPerOp != 0 || ndjson.Iterations != 16428000 {
+		t.Errorf("BenchmarkNDJSONEmit-8 = %+v, want ns/op 71.25 allocs 0 iters 16428000", ndjson)
+	}
+	ring := got["BenchmarkRingEventsOf-8"]
+	if ring.BytesPerOp != 4096 || ring.AllocsPerOp != 1 {
+		t.Errorf("BenchmarkRingEventsOf-8 = %+v, want 4096 B/op 1 allocs/op", ring)
+	}
+	// -benchmem omitted: memory fields default to zero, ns/op still required.
+	bare := got["BenchmarkFigure5NullSink-8"]
+	if bare.NsPerOp != 11520042 || bare.BytesPerOp != 0 {
+		t.Errorf("BenchmarkFigure5NullSink-8 = %+v, want ns/op 11520042, zero memory fields", bare)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	err := run(strings.NewReader("PASS\nok  	pkg	0.1s\n"), &out)
+	if err == nil {
+		t.Fatal("run accepted input with no benchmark lines")
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"BenchmarkX-8",
+		"BenchmarkX-8 notanumber 71 ns/op",
+		"BenchmarkX-8 100 71 s/op", // no ns/op pair at all
+		"NotABench-8 100 71 ns/op",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

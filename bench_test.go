@@ -18,6 +18,9 @@ package rrtcp_test
 import (
 	"io"
 	"math/rand"
+	"net/http"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -296,6 +299,136 @@ func BenchmarkEndToEndSimulationThroughput(b *testing.B) {
 		}
 		sched.Run(6 * time.Second)
 	}
+}
+
+// --- headline simulator-speed benchmarks ---
+//
+// BenchmarkEventsPerSec and BenchmarkPacketsPerSec are the repo's
+// committed performance trajectory (BENCH_core.json): scheduler events
+// and simulated packet transmissions per wall second on the standard
+// 10-flow RED dumbbell, plus heap allocations per event. tools/benchdiff
+// compares these numbers across PRs; see docs/OBSERVABILITY.md.
+
+// runHeadlineWorld builds and runs the standard measurement scenario,
+// returning the scheduler for its counters.
+func runHeadlineWorld(b *testing.B) *rrtcp.Scheduler {
+	b.Helper()
+	sched := rrtcp.NewScheduler(1)
+	cfg := rrtcp.PaperDropTailConfig(10)
+	cfg.ForwardQueue = rrtcp.Must(rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()))
+	d, err := rrtcp.NewDumbbell(sched, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]rrtcp.FlowSpec, 10)
+	for j := range specs {
+		specs[j] = rrtcp.FlowSpec{Kind: rrtcp.RR, Bytes: rrtcp.Infinite, Window: 30}
+	}
+	if _, err := rrtcp.InstallFlows(sched, d, specs); err != nil {
+		b.Fatal(err)
+	}
+	sched.Run(6 * time.Second)
+	return sched
+}
+
+func BenchmarkEventsPerSec(b *testing.B) {
+	var events uint64
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events += runHeadlineWorld(b).Processed()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)/secs, "events/sec")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
+	}
+}
+
+func BenchmarkPacketsPerSec(b *testing.B) {
+	_, before := rrtcp.SimCounters()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runHeadlineWorld(b)
+	}
+	b.StopTimer()
+	_, after := rrtcp.SimCounters()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(after-before)/secs, "packets/sec")
+	}
+}
+
+// --- live-introspection overhead ---
+//
+// The pair below prices the -http introspection server against the
+// acceptance bar (<5% overhead): the identical parallel chaos sweep
+// with no observers, and with the full live stack — metrics sink,
+// progress state, HTTP server, and a client scraping /metrics and
+// /progress every 50ms throughout the run. 50ms is already ~300x
+// more aggressive than a default Prometheus scrape interval; anything
+// tighter measures the scraper's own CPU appetite on small machines,
+// not the cost of having introspection enabled.
+
+func runBenchChaos(b *testing.B, runOpt rrtcp.ExperimentRunOptions) {
+	b.Helper()
+	e, err := rrtcp.BuildExperiment("chaos", rrtcp.ExperimentOptions{
+		Runs:     6,
+		Seed:     7,
+		Variants: []rrtcp.Kind{rrtcp.NewReno, rrtcp.RR},
+		Bytes:    60 * 1000,
+		Horizon:  20 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rrtcp.RunExperiment(e, runOpt); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkChaosParallel4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runBenchChaos(b, rrtcp.ExperimentRunOptions{Parallel: 4})
+	}
+}
+
+func BenchmarkChaosParallel4LiveHTTP(b *testing.B) {
+	sink := rrtcp.NewMetricsSink()
+	ps := rrtcp.NewProgressState()
+	srv := rrtcp.NewObsServer(sink.R, ps)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			for _, path := range []string{"/metrics", "/progress"} {
+				resp, err := http.Get("http://" + addr + path)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	bus := rrtcp.NewTelemetryBus(sink, ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBenchChaos(b, rrtcp.ExperimentRunOptions{Parallel: 4, Progress: bus})
+	}
+	b.StopTimer()
+	stop.Store(true)
+	<-done
 }
 
 // --- §2.3 fair-share gateways ---

@@ -30,6 +30,10 @@
 // writes Chrome trace-event JSON openable in Perfetto, -metrics prints
 // the aggregated metrics snapshot, and -pprof writes cpu.pprof and
 // heap.pprof runtime profiles of the simulator itself.
+//
+// -http :PORT serves live introspection while the run executes:
+// /metrics (Prometheus text format), /progress (sweep progress as
+// JSON), /healthz, and /debug/pprof. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -79,6 +83,7 @@ func run(args []string) error {
 	replay := fs.String("replay", "", "replay a repro bundle instead of sweeping (chaos)")
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", false, "render live sweep progress on stderr")
+	httpAddr := fs.String("http", "", "serve live introspection (/metrics, /progress, /healthz, /debug/pprof) on this address, e.g. :8080")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -113,11 +118,31 @@ func run(args []string) error {
 		}
 	}
 	runOpt := rrtcp.ExperimentRunOptions{Parallel: *parallel}
-	if *progress {
-		runOpt.Progress = rrtcp.NewTelemetryBus(rrtcp.NewProgressSink(os.Stderr))
-	}
-
 	tel := telemetryOpts{events: *events, metrics: *metrics, traceOut: *traceJSON}
+
+	// The progress bus carries sweep lifecycle events (published on the
+	// coordinating goroutine); the -progress status line and the live
+	// introspection sinks both subscribe to it.
+	var progressSinks []rrtcp.TelemetrySink
+	if *progress {
+		progressSinks = append(progressSinks, rrtcp.NewProgressSink(os.Stderr))
+	}
+	if *httpAddr != "" {
+		liveMetrics := rrtcp.NewMetricsSink()
+		liveProgress := rrtcp.NewProgressState()
+		progressSinks = append(progressSinks, liveMetrics, liveProgress)
+		tel.live = liveMetrics
+		srv := rrtcp.NewObsServer(liveMetrics.R, liveProgress)
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rrsim: introspection server on http://%s (/metrics /progress /healthz /debug/pprof)\n", addr)
+	}
+	if len(progressSinks) > 0 {
+		runOpt.Progress = rrtcp.NewTelemetryBus(progressSinks...)
+	}
 	do := func() error {
 		switch cmd {
 		case "run":
@@ -276,13 +301,14 @@ func renderJSON(_ string, result any) error {
 // telemetryOpts gathers the observability flags shared by experiment
 // and scenario runs.
 type telemetryOpts struct {
-	events   string // NDJSON event stream path
-	metrics  bool   // print metrics snapshot to stderr
-	traceOut string // Chrome trace-event JSON path
+	events   string              // NDJSON event stream path
+	metrics  bool                // print metrics snapshot to stderr
+	traceOut string              // Chrome trace-event JSON path
+	live     rrtcp.TelemetrySink // -http live metrics sink, also fed simulation events
 }
 
 func (t telemetryOpts) enabled() bool {
-	return t.events != "" || t.metrics || t.traceOut != ""
+	return t.events != "" || t.metrics || t.traceOut != "" || t.live != nil
 }
 
 // telemetrySetup builds the bus behind -events, -metrics, and
@@ -294,6 +320,9 @@ func telemetrySetup(tel telemetryOpts) (*rrtcp.TelemetryBus, func() error, error
 		return nil, func() error { return nil }, nil
 	}
 	var sinks []rrtcp.TelemetrySink
+	if tel.live != nil {
+		sinks = append(sinks, tel.live)
+	}
 	var nd *rrtcp.NDJSONSink
 	var f *os.File
 	if tel.events != "" {

@@ -1,0 +1,156 @@
+// Package obs is the live introspection layer: a small HTTP server
+// that exposes a running simulation or sweep without touching its
+// determinism. It serves
+//
+//	/metrics      Prometheus text exposition of a telemetry.Registry,
+//	              plus process/runtime gauges and the process-wide
+//	              simulator totals (events and packets so far)
+//	/progress     JSON snapshot of live sweep state (jobs completed,
+//	              per-worker utilization) from a telemetry.ProgressState
+//	/healthz      liveness: {"status":"ok","uptime_s":...}
+//	/debug/pprof  the standard runtime profiler endpoints
+//
+// The server reads shared state that the simulation writes — the
+// Registry's atomic cells, the ProgressState's locked snapshot, the
+// scheduler's batched global counters — so a scrape never blocks a
+// publisher and costs nothing when no listener is attached: with no
+// server started there are no extra goroutines, no sockets, and the
+// sinks degrade to the same discipline as the null telemetry sink.
+// All methods are nil-safe: a nil *Server starts nothing and closes
+// cleanly, so call sites can thread an optional server through without
+// branching.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"rrtcp/internal/sim"
+	"rrtcp/internal/telemetry"
+)
+
+// Config wires the server's data sources. Either field may be nil; the
+// corresponding endpoint then serves an empty-but-valid document.
+type Config struct {
+	// Registry is the live metrics store behind /metrics.
+	Registry *telemetry.Registry
+	// Progress is the live sweep state behind /progress.
+	Progress *telemetry.ProgressState
+}
+
+// Server is the introspection HTTP server. Construct with New, then
+// Start; the zero value and nil are inert.
+type Server struct {
+	cfg     Config
+	srv     *http.Server
+	ln      net.Listener
+	started time.Time
+}
+
+// New returns an unstarted server over the given sources.
+func New(cfg Config) *Server { return &Server{cfg: cfg} }
+
+// Registry returns the server's metrics registry (may be nil).
+func (s *Server) Registry() *telemetry.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.cfg.Registry
+}
+
+// Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves in a
+// background goroutine, returning the bound address — useful when the
+// port was 0. Starting a nil server is a no-op returning "".
+func (s *Server) Start(addr string) (string, error) {
+	if s == nil {
+		return "", nil
+	}
+	if s.ln != nil {
+		return "", fmt.Errorf("obs: server already started on %s", s.ln.Addr())
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.started = time.Now()
+	s.srv = &http.Server{Handler: s.mux()}
+	go func() { _ = s.srv.Serve(ln) }() // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr reports the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers. Safe on nil and on
+// a never-started server.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// mux assembles the endpoint routing. Handlers are registered on a
+// private mux — never http.DefaultServeMux — so importing net/http/pprof
+// machinery leaks nothing into other servers in the process.
+func (s *Server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("/metrics", s.handleMetrics)
+	m.HandleFunc("/progress", s.handleProgress)
+	m.HandleFunc("/healthz", s.handleHealthz)
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r := s.cfg.Registry; r != nil {
+		if err := r.WritePrometheus(w); err != nil {
+			return // client went away mid-write; nothing to salvage
+		}
+	}
+	writeProcessMetrics(w, time.Since(s.started).Seconds())
+}
+
+// writeProcessMetrics appends the self-observation families every
+// scrape gets regardless of registry wiring: simulator totals, runtime
+// memory/goroutine gauges, uptime.
+func writeProcessMetrics(w http.ResponseWriter, uptime float64) {
+	events, packets := sim.GlobalCounters()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# TYPE rrsim_sim_events_total counter\nrrsim_sim_events_total %d\n", events)
+	fmt.Fprintf(w, "# TYPE rrsim_sim_packets_total counter\nrrsim_sim_packets_total %d\n", packets)
+	fmt.Fprintf(w, "# TYPE rrsim_process_goroutines gauge\nrrsim_process_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# TYPE rrsim_process_heap_alloc_bytes gauge\nrrsim_process_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# TYPE rrsim_process_total_alloc_bytes_total counter\nrrsim_process_total_alloc_bytes_total %d\n", ms.TotalAlloc)
+	fmt.Fprintf(w, "# TYPE rrsim_process_gc_runs_total counter\nrrsim_process_gc_runs_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# TYPE rrsim_process_uptime_seconds gauge\nrrsim_process_uptime_seconds %g\n", uptime)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.cfg.Progress.Snapshot()) // nil-safe: zero snapshot
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%g}\n", time.Since(s.started).Seconds())
+}

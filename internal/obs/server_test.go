@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"rrtcp/internal/sweep"
+	"rrtcp/internal/telemetry"
+)
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Inc("queue.fwd.drops", 3)
+	reg.SetGauge("queue.fwd.occupancy", 7)
+	reg.Observe("sender.0.episode", 0.25)
+	ps := telemetry.NewProgressState()
+
+	srv := New(Config{Registry: reg, Progress: ps})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Addr() != addr {
+		t.Errorf("Addr() = %q, Start returned %q", srv.Addr(), addr)
+	}
+	base := "http://" + addr
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := telemetry.ValidatePrometheus(body); err != nil {
+		t.Errorf("invalid exposition: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"rrsim_queue_drops_total{instance=\"fwd\"} 3",
+		"rrsim_queue_occupancy{instance=\"fwd\"} 7",
+		"rrsim_sim_events_total",
+		"rrsim_sim_packets_total",
+		"rrsim_process_goroutines",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var snap telemetry.ProgressSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/progress not JSON: %v\n%s", err, body)
+	}
+	if snap.Active {
+		t.Error("idle /progress reports an active sweep")
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestScrapeDuringParallelSweep is the live-introspection race check:
+// four sweep workers publish into a shared registry while an HTTP
+// client scrapes /metrics and /progress as fast as it can. Under
+// -race this proves a scrape never tears or conflicts with publishers;
+// functionally it checks the scraped exposition stays well-formed
+// mid-run and the final totals are exact.
+func TestScrapeDuringParallelSweep(t *testing.T) {
+	sink := telemetry.NewMetricsSink()
+	ps := telemetry.NewProgressState()
+	srv := New(Config{Registry: sink.R, Progress: ps})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	// Scraper: hammer both read endpoints until the sweep finishes.
+	var stop atomic.Bool
+	scraped := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for !stop.Load() {
+			resp, err := http.Get(base + "/metrics")
+			if err == nil {
+				body, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil {
+					if verr := telemetry.ValidatePrometheus(body); verr != nil && firstErr == nil {
+						firstErr = fmt.Errorf("mid-sweep exposition invalid: %w", verr)
+					}
+				}
+			}
+			if resp, err := http.Get(base + "/progress"); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		scraped <- firstErr
+	}()
+
+	// The sweep: jobs write flow metrics straight into the shared
+	// registry from worker goroutines — exactly the concurrent-publisher
+	// load the registry documents as safe — while the coordinator feeds
+	// progress events to both sinks.
+	const jobs, perJob = 32, 200
+	bus := telemetry.NewBus(sink, ps)
+	js := make([]sweep.Job, jobs)
+	for i := range js {
+		i := i
+		js[i] = sweep.Job{
+			Name: fmt.Sprintf("job%d", i),
+			Run: func(seed int64) (any, error) {
+				for k := 0; k < perJob; k++ {
+					sink.R.Inc("sender.0.data_sent", 1)
+					sink.R.SetGauge("sender.0.cwnd", float64(k))
+					sink.R.ObserveLog("sender.0.rtt_s", 0.001*float64(k+1))
+				}
+				return i, nil
+			},
+		}
+	}
+	if _, err := sweep.Run(sweep.Config{Name: "scrape-test", Workers: 4, Telemetry: bus}, js); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	if err := <-scraped; err != nil {
+		t.Error(err)
+	}
+
+	if got := sink.R.Counter("sender.0.data_sent"); got != jobs*perJob {
+		t.Errorf("sender.0.data_sent = %d, want %d", got, jobs*perJob)
+	}
+	snap := ps.Snapshot()
+	if snap.Active || snap.Completed != jobs || snap.Jobs != jobs || snap.SweepsDone != 1 {
+		t.Errorf("final progress snapshot off: %+v", snap)
+	}
+	if h := sink.R.LogHist("sweep.job_latency_s"); h == nil || h.Count() != jobs {
+		t.Errorf("sweep.job_latency_s count = %v, want %d", h, jobs)
+	}
+}
+
+func TestProgressLiveDuringSweep(t *testing.T) {
+	ps := telemetry.NewProgressState()
+	bus := telemetry.NewBus(ps)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	js := []sweep.Job{
+		{Name: "gate", Run: func(int64) (any, error) {
+			close(started)
+			<-release
+			return nil, nil
+		}},
+		{Name: "tail", Run: func(int64) (any, error) { return nil, nil }},
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := sweep.Run(sweep.Config{Name: "live", Workers: 2, Telemetry: bus}, js); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+	snap := ps.Snapshot()
+	if !snap.Active || snap.Sweep != "live" || snap.Jobs != 2 {
+		t.Errorf("mid-sweep snapshot = %+v, want active sweep %q with 2 jobs", snap, "live")
+	}
+	if snap.WallS < 0 {
+		t.Errorf("live wall clock negative: %v", snap.WallS)
+	}
+	close(release)
+	<-done
+	final := ps.Snapshot()
+	if final.Active || final.Completed != 2 {
+		t.Errorf("final snapshot = %+v", final)
+	}
+}
+
+func TestNilServerIsInert(t *testing.T) {
+	var s *Server
+	if addr, err := s.Start(":0"); err != nil || addr != "" {
+		t.Errorf("nil Start = %q, %v", addr, err)
+	}
+	if s.Addr() != "" {
+		t.Error("nil Addr non-empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	if s.Registry() != nil {
+		t.Error("nil Registry non-nil")
+	}
+}
+
+func TestServerDoubleStartFails(t *testing.T) {
+	s := New(Config{})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Start("127.0.0.1:0"); err == nil {
+		t.Error("second Start succeeded")
+	}
+	// Empty sources still serve valid documents.
+	code, body := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := telemetry.ValidatePrometheus(body); err != nil {
+		t.Errorf("registry-less exposition invalid: %v", err)
+	}
+	code, body = get(t, "http://"+addr+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status %d", code)
+	}
+	var snap telemetry.ProgressSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Errorf("progress-less /progress not JSON: %v", err)
+	}
+}

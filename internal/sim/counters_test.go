@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// chain schedules a self-rescheduling event n times on s.
+func chain(t *testing.T, s *Scheduler, n int) {
+	t.Helper()
+	left := n
+	var tick func()
+	tick = func() {
+		left--
+		if left > 0 {
+			if _, err := s.Schedule(time.Millisecond, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.Schedule(0, tick); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGlobalCountersFlushRemainder checks the batched event counter:
+// a run processing fewer events than the flush interval must still
+// land them in the process-wide total when Run returns (the deferred
+// remainder flush). Deltas are used because the counters are shared
+// with every other test in the binary.
+func TestGlobalCountersFlushRemainder(t *testing.T) {
+	const n = 100 // well under globalFlushEvery
+	before, _ := GlobalCounters()
+	s := NewScheduler(1)
+	chain(t, s, n)
+	s.RunAll()
+	after, _ := GlobalCounters()
+	if got := after - before; got < n {
+		t.Errorf("global events grew by %d, want >= %d", got, n)
+	}
+	if s.Processed() != n {
+		t.Errorf("Processed() = %d, want %d", s.Processed(), n)
+	}
+}
+
+// TestGlobalCountersBatchBoundary crosses the flush interval to
+// exercise the in-loop flush path as well as the remainder.
+func TestGlobalCountersBatchBoundary(t *testing.T) {
+	const n = globalFlushEvery + globalFlushEvery/2
+	before, _ := GlobalCounters()
+	s := NewScheduler(2)
+	chain(t, s, n)
+	s.RunAll()
+	after, _ := GlobalCounters()
+	if got := after - before; got < n {
+		t.Errorf("global events grew by %d, want >= %d", got, n)
+	}
+}
+
+func TestCountPackets(t *testing.T) {
+	_, before := GlobalCounters()
+	CountPackets(7)
+	CountPackets(3)
+	_, after := GlobalCounters()
+	if got := after - before; got < 10 {
+		t.Errorf("global packets grew by %d, want >= 10", got)
+	}
+}

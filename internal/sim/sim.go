@@ -11,8 +11,35 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
+
+// Process-wide simulator totals, aggregated across every scheduler in
+// the process so a live introspection scrape can watch a parallel
+// sweep's aggregate event and packet rates. Schedulers batch their
+// event counts (one atomic add per globalFlushEvery events, plus one
+// at the end of each Run), so the hot loop pays a counter increment
+// and a mask test per event; packet sources (netem links) add as they
+// transmit. The counters are observability-only: nothing in the
+// simulation reads them, so they cannot perturb determinism.
+var (
+	globalEvents  atomic.Uint64
+	globalPackets atomic.Uint64
+)
+
+// globalFlushEvery is the event-count batching interval (power of two).
+const globalFlushEvery = 4096
+
+// CountPackets adds n simulated transmitted packets to the process-wide
+// total.
+func CountPackets(n uint64) { globalPackets.Add(n) }
+
+// GlobalCounters reports the process-wide totals: discrete events
+// processed and packets transmitted across every scheduler so far.
+func GlobalCounters() (events, packets uint64) {
+	return globalEvents.Load(), globalPackets.Load()
+}
 
 // Time is a simulated instant, measured as an offset from the start of
 // the simulation. The zero Time is the simulation epoch.
@@ -193,6 +220,12 @@ func (s *Scheduler) RunAll() {
 
 func (s *Scheduler) run(until Time, advanceClock bool) {
 	s.stopped = false
+	var batch uint64 // events since the last global-counter flush
+	defer func() {
+		if batch > 0 {
+			globalEvents.Add(batch)
+		}
+	}()
 	for s.queue.Len() > 0 && !s.stopped {
 		next := s.queue[0]
 		if next.at > until {
@@ -209,6 +242,10 @@ func (s *Scheduler) run(until Time, advanceClock bool) {
 		s.now = popped.at
 		popped.dead = true
 		s.processed++
+		if batch++; batch == globalFlushEvery {
+			globalEvents.Add(batch)
+			batch = 0
+		}
 		popped.fn()
 		if s.profHook != nil && s.processed%s.profEvery == 0 {
 			s.profHook(s.now, s.processed, s.queue.Len())

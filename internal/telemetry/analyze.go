@@ -66,12 +66,64 @@ type QueueDrops struct {
 	Forced int // KDrop events with forced=1 (queue overflow vs RED early)
 }
 
+// SampleStats aggregates one sampled gauge series ("sample" events from
+// the periodic Sampler): the series identity plus count and range.
+type SampleStats struct {
+	Comp string
+	Src  string // gauge name (cwnd, srtt, qlen, ...)
+	Flow int32  // NoFlow for flowless sources (queues)
+	N    int
+	Min  float64
+	Max  float64
+	Last float64
+}
+
+// sampleKey identifies one sampled series.
+type sampleKey struct {
+	comp, src string
+	flow      int32
+}
+
+// WorkerStats is one worker's end-of-sweep totals from a sweep-worker
+// event.
+type WorkerStats struct {
+	Worker int
+	Jobs   int
+	BusyS  float64
+}
+
+// SweepStats aggregates one sweep's progress and timing stream
+// (sweep-start/sweep-job/sweep-job-time/sweep-worker/sweep-done).
+type SweepStats struct {
+	Name      string
+	Jobs      int
+	Completed int // jobs finished by the last event in the log
+	Workers   int
+	WallS     float64 // from sweep-done; 0 when the log ends mid-sweep
+	Done      bool
+	// Per-job wall-latency distribution from sweep-job-time events.
+	JobTimeN     int
+	JobTimeMeanS float64
+	JobTimeMaxS  float64
+	PerWorker    []WorkerStats // sorted by worker index
+}
+
+// SchedStats aggregates scheduler self-profiling ("sched") events.
+type SchedStats struct {
+	Profiles   int
+	Events     int64   // processed count at the last profile event
+	MaxPending float64 // peak event-heap depth observed
+}
+
 // LogSummary is the full analysis of an event log.
 type LogSummary struct {
 	From, To float64
 	Events   int
 	Flows    []FlowSummary // sorted by flow id
 	Queues   []QueueDrops  // sorted by comp then src
+	Samples  []SampleStats // sorted by comp, src, flow
+	Sweeps   []SweepStats  // in log order
+	Sched    SchedStats
 }
 
 // Summarize reconstructs per-flow recovery episodes and per-queue drop
@@ -81,6 +133,8 @@ func Summarize(records []Record) LogSummary {
 	flows := map[int32]*FlowSummary{}
 	open := map[int32]*Episode{} // in-progress episode per flow
 	drops := map[[2]string]*QueueDrops{}
+	samples := map[sampleKey]*SampleStats{}
+	var curSweep *SweepStats // open sweep, appended to sum.Sweeps on done/EOF
 
 	flowOf := func(id int32) *FlowSummary {
 		f := flows[id]
@@ -89,6 +143,12 @@ func Summarize(records []Record) LogSummary {
 			flows[id] = f
 		}
 		return f
+	}
+	sweepOf := func(name string) *SweepStats {
+		if curSweep == nil {
+			curSweep = &SweepStats{Name: name}
+		}
+		return curSweep
 	}
 
 	for i, r := range records {
@@ -119,6 +179,82 @@ func Summarize(records []Record) LogSummary {
 				drops[key] = d
 			}
 			d.Drops++
+			continue
+		case KSample.String():
+			key := sampleKey{r.Comp, r.Src, r.Flow}
+			s := samples[key]
+			if s == nil {
+				s = &SampleStats{Comp: r.Comp, Src: r.Src, Flow: r.Flow}
+				samples[key] = s
+			}
+			v := r.Attr("value", 0)
+			if s.N == 0 || v < s.Min {
+				s.Min = v
+			}
+			if s.N == 0 || v > s.Max {
+				s.Max = v
+			}
+			s.N++
+			s.Last = v
+			continue
+		case KSchedProfile.String():
+			sum.Sched.Profiles++
+			if r.Seq > sum.Sched.Events {
+				sum.Sched.Events = r.Seq
+			}
+			if p := r.Attr("pending", 0); p > sum.Sched.MaxPending {
+				sum.Sched.MaxPending = p
+			}
+			continue
+		case KSweepStart.String():
+			if curSweep != nil {
+				sum.Sweeps = append(sum.Sweeps, *curSweep)
+			}
+			curSweep = &SweepStats{
+				Name:    r.Src,
+				Jobs:    int(r.Attr("jobs", 0)),
+				Workers: int(r.Attr("workers", 0)),
+			}
+			continue
+		case KSweepJob.String():
+			s := sweepOf("")
+			s.Completed = int(r.Attr("completed", 0))
+			if s.Jobs == 0 {
+				s.Jobs = int(r.Attr("total", 0))
+			}
+			continue
+		case KSweepJobTime.String():
+			s := sweepOf("")
+			w := r.Attr("wall_s", 0)
+			s.JobTimeMeanS += w // sum here; divided by N after the loop
+			s.JobTimeN++
+			if w > s.JobTimeMaxS {
+				s.JobTimeMaxS = w
+			}
+			continue
+		case KSweepWorker.String():
+			s := sweepOf("")
+			if w, ok := atoiSafe(r.Src); ok {
+				s.PerWorker = append(s.PerWorker, WorkerStats{
+					Worker: w,
+					Jobs:   int(r.Attr("jobs", 0)),
+					BusyS:  r.Attr("busy_s", 0),
+				})
+			}
+			continue
+		case KSweepDone.String():
+			s := sweepOf(r.Src)
+			if s.Name == "" {
+				s.Name = r.Src
+			}
+			if j := int(r.Attr("jobs", 0)); j > 0 {
+				s.Jobs = j
+				s.Completed = j
+			}
+			s.WallS = r.Attr("wall_s", 0)
+			s.Done = true
+			sum.Sweeps = append(sum.Sweeps, *s)
+			curSweep = nil
 			continue
 		}
 		if r.Flow == NoFlow {
@@ -181,6 +317,29 @@ func Summarize(records []Record) LogSummary {
 		}
 		return sum.Queues[i].Src < sum.Queues[j].Src
 	})
+	for _, s := range samples {
+		sum.Samples = append(sum.Samples, *s)
+	}
+	sort.Slice(sum.Samples, func(i, j int) bool {
+		a, b := sum.Samples[i], sum.Samples[j]
+		if a.Comp != b.Comp {
+			return a.Comp < b.Comp
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Flow < b.Flow
+	})
+	if curSweep != nil { // log ended mid-sweep
+		sum.Sweeps = append(sum.Sweeps, *curSweep)
+	}
+	for i := range sum.Sweeps {
+		s := &sum.Sweeps[i]
+		if s.JobTimeN > 0 {
+			s.JobTimeMeanS /= float64(s.JobTimeN)
+		}
+		sort.Slice(s.PerWorker, func(a, b int) bool { return s.PerWorker[a].Worker < s.PerWorker[b].Worker })
+	}
 	return sum
 }
 
@@ -235,6 +394,40 @@ func (s LogSummary) Render() string {
 		for _, q := range s.Queues {
 			fmt.Fprintf(&b, "%-8s %-10s %-7d %d\n", q.Comp, q.Src, q.Drops, q.Forced)
 		}
+	}
+	if len(s.Samples) > 0 {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "sampled series:\n%-8s %-10s %-5s %-7s %-10s %-10s %s\n",
+			"comp", "gauge", "flow", "n", "min", "max", "last")
+		for _, sm := range s.Samples {
+			flow := "-"
+			if sm.Flow != NoFlow {
+				flow = fmt.Sprintf("%d", sm.Flow)
+			}
+			fmt.Fprintf(&b, "%-8s %-10s %-5s %-7d %-10.4g %-10.4g %.4g\n",
+				sm.Comp, sm.Src, flow, sm.N, sm.Min, sm.Max, sm.Last)
+		}
+	}
+	for _, sw := range s.Sweeps {
+		b.WriteByte('\n')
+		state := fmt.Sprintf("(log ended mid-sweep at %d/%d)", sw.Completed, sw.Jobs)
+		if sw.Done {
+			state = fmt.Sprintf("in %.3fs", sw.WallS)
+		}
+		fmt.Fprintf(&b, "sweep %s: %d jobs on %d workers %s\n",
+			label(sw.Name), sw.Jobs, sw.Workers, state)
+		if sw.JobTimeN > 0 {
+			fmt.Fprintf(&b, "  job wall: n=%d mean=%.4fs max=%.4fs\n",
+				sw.JobTimeN, sw.JobTimeMeanS, sw.JobTimeMaxS)
+		}
+		for _, w := range sw.PerWorker {
+			fmt.Fprintf(&b, "  worker %d: %d jobs, %.4fs busy\n", w.Worker, w.Jobs, w.BusyS)
+		}
+	}
+	if s.Sched.Profiles > 0 {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "scheduler: %d profile samples, %d events processed, peak heap %d\n",
+			s.Sched.Profiles, s.Sched.Events, int64(s.Sched.MaxPending))
 	}
 	return b.String()
 }

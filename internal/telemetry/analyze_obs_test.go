@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// srec builds a Record with a source instance, the way DecodeNDJSON
+// produces them for sampler/sweep/scheduler events.
+func srec(t float64, comp Component, kind Kind, src string, flow int32, seq int64, attrs map[string]float64) Record {
+	if attrs == nil {
+		attrs = map[string]float64{}
+	}
+	return Record{T: t, Comp: comp.String(), Kind: kind.String(), Src: src, Flow: flow, Seq: seq, Attrs: attrs}
+}
+
+func TestSummarizeSamples(t *testing.T) {
+	records := []Record{
+		srec(0.1, CompSender, KSample, "cwnd", 0, 0, map[string]float64{"value": 4}),
+		srec(0.2, CompSender, KSample, "cwnd", 0, 0, map[string]float64{"value": 8}),
+		srec(0.3, CompSender, KSample, "cwnd", 0, 0, map[string]float64{"value": 6}),
+		srec(0.1, CompSender, KSample, "cwnd", 1, 0, map[string]float64{"value": 2}),
+		srec(0.1, CompQueue, KSample, "qlen", NoFlow, 0, map[string]float64{"value": 11}),
+	}
+	sum := Summarize(records)
+
+	// Sample events must not fabricate per-flow TCP rows.
+	if len(sum.Flows) != 0 {
+		t.Errorf("sample-only log produced %d flow rows, want 0", len(sum.Flows))
+	}
+	if len(sum.Samples) != 3 {
+		t.Fatalf("sample series = %d, want 3: %+v", len(sum.Samples), sum.Samples)
+	}
+	// Sorted by comp, src, flow: queue/qlen before sender/cwnd.
+	q := sum.Samples[0]
+	if q.Comp != "queue" || q.Src != "qlen" || q.N != 1 || q.Last != 11 {
+		t.Errorf("queue series wrong: %+v", q)
+	}
+	s0 := sum.Samples[1]
+	if s0.Flow != 0 || s0.N != 3 || s0.Min != 4 || s0.Max != 8 || s0.Last != 6 {
+		t.Errorf("flow-0 cwnd series wrong: %+v", s0)
+	}
+
+	out := sum.Render()
+	if !strings.Contains(out, "sampled series:") || !strings.Contains(out, "cwnd") {
+		t.Errorf("Render missing sample table:\n%s", out)
+	}
+}
+
+func TestSummarizeSweep(t *testing.T) {
+	records := []Record{
+		srec(0, CompSweep, KSweepStart, "chaos", NoFlow, 0, map[string]float64{"jobs": 4, "workers": 2}),
+		srec(0, CompSweep, KSweepJobTime, "j0", NoFlow, 0, map[string]float64{"wall_s": 0.1, "worker": 0}),
+		srec(0, CompSweep, KSweepJob, "j0", NoFlow, 0, map[string]float64{"completed": 1, "total": 4}),
+		srec(0, CompSweep, KSweepJobTime, "j1", NoFlow, 1, map[string]float64{"wall_s": 0.3, "worker": 1}),
+		srec(0, CompSweep, KSweepJob, "j1", NoFlow, 1, map[string]float64{"completed": 2, "total": 4}),
+		srec(0, CompSweep, KSweepJobTime, "j2", NoFlow, 2, map[string]float64{"wall_s": 0.2, "worker": 0}),
+		srec(0, CompSweep, KSweepJob, "j2", NoFlow, 2, map[string]float64{"completed": 3, "total": 4}),
+		srec(0, CompSweep, KSweepJobTime, "j3", NoFlow, 3, map[string]float64{"wall_s": 0.2, "worker": 1}),
+		srec(0, CompSweep, KSweepJob, "j3", NoFlow, 3, map[string]float64{"completed": 4, "total": 4}),
+		srec(0, CompSweep, KSweepWorker, "0", NoFlow, 0, map[string]float64{"busy_s": 0.3, "jobs": 2}),
+		srec(0, CompSweep, KSweepWorker, "1", NoFlow, 0, map[string]float64{"busy_s": 0.5, "jobs": 2}),
+		srec(0, CompSweep, KSweepDone, "chaos", NoFlow, 0, map[string]float64{"jobs": 4, "wall_s": 0.45}),
+	}
+	sum := Summarize(records)
+	if len(sum.Sweeps) != 1 {
+		t.Fatalf("sweeps = %d, want 1", len(sum.Sweeps))
+	}
+	sw := sum.Sweeps[0]
+	if sw.Name != "chaos" || sw.Jobs != 4 || sw.Workers != 2 || !sw.Done {
+		t.Errorf("sweep identity wrong: %+v", sw)
+	}
+	if sw.Completed != 4 || !almost(sw.WallS, 0.45) {
+		t.Errorf("sweep totals wrong: %+v", sw)
+	}
+	if sw.JobTimeN != 4 || !almost(sw.JobTimeMeanS, 0.2) || !almost(sw.JobTimeMaxS, 0.3) {
+		t.Errorf("job-time stats wrong: %+v", sw)
+	}
+	if len(sw.PerWorker) != 2 || sw.PerWorker[0].Jobs != 2 || !almost(sw.PerWorker[1].BusyS, 0.5) {
+		t.Errorf("per-worker stats wrong: %+v", sw.PerWorker)
+	}
+
+	out := sum.Render()
+	for _, want := range []string{"sweep chaos: 4 jobs on 2 workers", "job wall: n=4", "worker 1: 2 jobs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeSweepTruncatedLog(t *testing.T) {
+	records := []Record{
+		srec(0, CompSweep, KSweepStart, "big", NoFlow, 0, map[string]float64{"jobs": 100, "workers": 8}),
+		srec(0, CompSweep, KSweepJob, "j0", NoFlow, 0, map[string]float64{"completed": 7, "total": 100}),
+	}
+	sum := Summarize(records)
+	if len(sum.Sweeps) != 1 {
+		t.Fatalf("sweeps = %d, want 1", len(sum.Sweeps))
+	}
+	sw := sum.Sweeps[0]
+	if sw.Done || sw.Completed != 7 || sw.Jobs != 100 {
+		t.Errorf("truncated sweep wrong: %+v", sw)
+	}
+	if !strings.Contains(sum.Render(), "mid-sweep at 7/100") {
+		t.Errorf("Render missing truncation notice:\n%s", sum.Render())
+	}
+}
+
+func TestSummarizeSchedProfile(t *testing.T) {
+	records := []Record{
+		srec(0.5, CompSim, KSchedProfile, "", NoFlow, 50000, map[string]float64{"pending": 12}),
+		srec(1.0, CompSim, KSchedProfile, "", NoFlow, 100000, map[string]float64{"pending": 40}),
+		srec(1.5, CompSim, KSchedProfile, "", NoFlow, 150000, map[string]float64{"pending": 9}),
+	}
+	sum := Summarize(records)
+	if sum.Sched.Profiles != 3 || sum.Sched.Events != 150000 || sum.Sched.MaxPending != 40 {
+		t.Errorf("sched stats wrong: %+v", sum.Sched)
+	}
+	if len(sum.Flows) != 0 {
+		t.Errorf("sched events fabricated flow rows: %+v", sum.Flows)
+	}
+	if !strings.Contains(sum.Render(), "scheduler: 3 profile samples, 150000 events processed, peak heap 40") {
+		t.Errorf("Render missing scheduler line:\n%s", sum.Render())
+	}
+}

@@ -2,8 +2,11 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"rrtcp/internal/sim"
 	"rrtcp/internal/stats"
@@ -11,95 +14,257 @@ import (
 
 // Registry is a flat, name-keyed metrics store: counters, gauges, and
 // histograms. Names are dotted paths keyed by component and instance,
-// e.g. "queue.fwd.drops", "sender.0.retransmits", "link.fwd.tx_bytes".
-// Everything runs on the single simulation goroutine, so there is no
-// locking; Snapshot produces a deterministic (sorted) view.
+// e.g. "queue.fwd.drops", "sender.0.retransmits", "link.fwd.tx_bytes";
+// WritePrometheus translates that convention into Prometheus families
+// with an "instance" label.
+//
+// The registry is safe for concurrent use, with reads that never block
+// publishers: counter and gauge updates are atomic operations on
+// per-metric cells, so Snapshot (and a live /metrics scrape) observes
+// them with plain atomic loads while a simulation keeps publishing.
+// The registry-wide lock is taken in write mode only when a metric name
+// is seen for the first time; histogram observations and reads
+// serialize on a per-histogram mutex (they aggregate multi-word state).
+// A single-goroutine simulation pays only uncontended atomics.
 type Registry struct {
-	counters map[string]uint64
-	gauges   map[string]float64
+	mu       sync.RWMutex
+	counters map[string]*atomic.Uint64
+	gauges   map[string]*atomic.Uint64 // math.Float64bits encoded
 	hists    map[string]*Histogram
-	logHists map[string]*stats.LogHistogram
+	logHists map[string]*lockedLogHist
+}
+
+// lockedLogHist guards a stats.LogHistogram (fixed-size value type)
+// against concurrent Observe/read; the value embeds directly so a
+// snapshot is a plain struct copy under the lock.
+type lockedLogHist struct {
+	mu sync.Mutex
+	h  stats.LogHistogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]uint64),
-		gauges:   make(map[string]float64),
+		counters: make(map[string]*atomic.Uint64),
+		gauges:   make(map[string]*atomic.Uint64),
 		hists:    make(map[string]*Histogram),
-		logHists: make(map[string]*stats.LogHistogram),
+		logHists: make(map[string]*lockedLogHist),
 	}
 }
 
-// Inc adds delta to the named counter.
-func (r *Registry) Inc(name string, delta uint64) { r.counters[name] += delta }
+// counterCell resolves (creating on first use) the named counter cell.
+func (r *Registry) counterCell(name string) *atomic.Uint64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(atomic.Uint64)
+		r.counters[name] = c
+	}
+	return c
+}
 
-// Counter returns the named counter's value.
-func (r *Registry) Counter(name string) uint64 { return r.counters[name] }
+// gaugeCell resolves (creating on first use) the named gauge cell.
+func (r *Registry) gaugeCell(name string) *atomic.Uint64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(atomic.Uint64)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta uint64) { r.counterCell(name).Add(delta) }
+
+// Counter returns the named counter's value (0 when absent).
+func (r *Registry) Counter(name string) uint64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
 
 // SetGauge records the latest value of a quantity.
-func (r *Registry) SetGauge(name string, v float64) { r.gauges[name] = v }
+func (r *Registry) SetGauge(name string, v float64) {
+	r.gaugeCell(name).Store(math.Float64bits(v))
+}
 
-// Gauge returns the named gauge's latest value.
-func (r *Registry) Gauge(name string) float64 { return r.gauges[name] }
+// Gauge returns the named gauge's latest value (0 when absent).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.Load())
+}
+
+// CounterVar is a resolved handle on one counter: hot paths that would
+// otherwise pay a map lookup per increment resolve the handle once and
+// then Add is a single atomic operation.
+type CounterVar struct{ v *atomic.Uint64 }
+
+// Add increments the counter.
+func (c CounterVar) Add(delta uint64) { c.v.Add(delta) }
+
+// Value reads the counter.
+func (c CounterVar) Value() uint64 { return c.v.Load() }
+
+// GaugeVar is a resolved handle on one gauge.
+type GaugeVar struct{ v *atomic.Uint64 }
+
+// Set stores the gauge value.
+func (g GaugeVar) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value reads the gauge.
+func (g GaugeVar) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+// CounterVarOf resolves a live handle on the named counter.
+func (r *Registry) CounterVarOf(name string) CounterVar { return CounterVar{r.counterCell(name)} }
+
+// GaugeVarOf resolves a live handle on the named gauge.
+func (r *Registry) GaugeVarOf(name string) GaugeVar { return GaugeVar{r.gaugeCell(name)} }
 
 // Observe appends a sample to the named histogram, creating it on
 // first use.
 func (r *Registry) Observe(name string, v float64) {
+	r.mu.RLock()
 	h := r.hists[name]
+	r.mu.RUnlock()
 	if h == nil {
-		h = &Histogram{}
-		r.hists[name] = h
+		r.mu.Lock()
+		if h = r.hists[name]; h == nil {
+			h = &Histogram{}
+			r.hists[name] = h
+		}
+		r.mu.Unlock()
 	}
 	h.Observe(v)
 }
 
-// Hist returns the named histogram, or nil.
-func (r *Registry) Hist(name string) *Histogram { return r.hists[name] }
+// Hist returns the named histogram, or nil. The histogram's own methods
+// are safe for concurrent use.
+func (r *Registry) Hist(name string) *Histogram {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.hists[name]
+}
 
 // ObserveLog appends a sample to the named log-bucketed histogram,
 // creating it on first use. Unlike Observe it retains no raw samples,
 // so it is the right shape for unbounded streams — episode durations
 // over a long sweep, per-job wall latencies.
 func (r *Registry) ObserveLog(name string, v float64) {
-	h := r.logHists[name]
-	if h == nil {
-		h = stats.NewLogHistogram()
-		r.logHists[name] = h
+	r.mu.RLock()
+	l := r.logHists[name]
+	r.mu.RUnlock()
+	if l == nil {
+		r.mu.Lock()
+		if l = r.logHists[name]; l == nil {
+			l = &lockedLogHist{}
+			r.logHists[name] = l
+		}
+		r.mu.Unlock()
 	}
-	h.Observe(v)
+	l.mu.Lock()
+	l.h.Observe(v)
+	l.mu.Unlock()
 }
 
-// LogHist returns the named log-bucketed histogram, or nil.
-func (r *Registry) LogHist(name string) *stats.LogHistogram { return r.logHists[name] }
+// LogHist returns a point-in-time copy of the named log-bucketed
+// histogram, or nil. Returning a copy keeps readers decoupled from
+// concurrent Observe calls.
+func (r *Registry) LogHist(name string) *stats.LogHistogram {
+	r.mu.RLock()
+	l := r.logHists[name]
+	r.mu.RUnlock()
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	cp := l.h
+	l.mu.Unlock()
+	return &cp
+}
 
 // Histogram retains raw samples and summarizes them through
 // internal/stats (mean, percentiles). Event volumes here are bounded
 // by run length, so exact percentiles are affordable; a sketch can
-// replace the sample slice if that changes.
+// replace the sample slice if that changes. All methods are safe for
+// concurrent use.
 type Histogram struct {
+	mu      sync.Mutex
 	samples []float64
 }
 
 // Observe appends one sample.
-func (h *Histogram) Observe(v float64) { h.samples = append(h.samples, v) }
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.mu.Unlock()
+}
 
 // Count reports the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Sum returns the sample sum.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s
+}
 
 // Mean returns the sample mean (0 when empty).
-func (h *Histogram) Mean() float64 { return stats.Mean(h.samples) }
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return stats.Mean(h.samples)
+}
 
 // Quantile returns the p-th percentile (0..100) of the samples.
-func (h *Histogram) Quantile(p float64) float64 { return stats.Percentile(h.samples, p) }
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return stats.Percentile(h.samples, p)
+}
 
 // Max returns the largest sample (0 when empty).
-func (h *Histogram) Max() float64 { return stats.Max(h.samples) }
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return stats.Max(h.samples)
+}
 
-// Snapshot renders every metric, sorted by name, as "name value" lines
-// — a deterministic dump for tests and the rrsim -metrics flag.
-func (r *Registry) Snapshot() string {
-	var names []string
+// metricNames returns every metric name tagged by kind, sorted — the
+// shared iteration order of Snapshot and WritePrometheus.
+func (r *Registry) metricNames() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.logHists))
 	for n := range r.counters {
 		names = append(names, "c "+n)
 	}
@@ -112,21 +277,30 @@ func (r *Registry) Snapshot() string {
 	for n := range r.logHists {
 		names = append(names, "l "+n)
 	}
+	r.mu.RUnlock()
 	sort.Strings(names)
+	return names
+}
+
+// Snapshot renders every metric, sorted by name, as "name value" lines
+// — a deterministic dump for tests and the rrsim -metrics flag. It is
+// safe to call while the registry is being written: values are read
+// with atomic loads, so concurrent publishers are never blocked.
+func (r *Registry) Snapshot() string {
 	var b strings.Builder
-	for _, tagged := range names {
+	for _, tagged := range r.metricNames() {
 		kind, name := tagged[:1], tagged[2:]
 		switch kind {
 		case "c":
-			fmt.Fprintf(&b, "%-40s %d\n", name, r.counters[name])
+			fmt.Fprintf(&b, "%-40s %d\n", name, r.Counter(name))
 		case "g":
-			fmt.Fprintf(&b, "%-40s %g\n", name, r.gauges[name])
+			fmt.Fprintf(&b, "%-40s %g\n", name, r.Gauge(name))
 		case "h":
-			h := r.hists[name]
+			h := r.Hist(name)
 			fmt.Fprintf(&b, "%-40s n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n",
 				name, h.Count(), h.Mean(), h.Quantile(50), h.Quantile(99), h.Max())
 		case "l":
-			h := r.logHists[name]
+			h := r.LogHist(name)
 			fmt.Fprintf(&b, "%-40s n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g\n",
 				name, h.Count(), h.Mean(), h.Quantile(50), h.Quantile(99), h.Max())
 		}
@@ -137,6 +311,9 @@ func (r *Registry) Snapshot() string {
 // MetricsSink aggregates the event stream into a Registry — the
 // bus-native way to get per-queue drop/occupancy, per-link utilization,
 // and per-sender recovery counters without touching the publishers.
+// The registry may be read (Snapshot, WritePrometheus, a live /metrics
+// scrape) while the sink keeps emitting; Emit itself follows the usual
+// sink contract and runs on one goroutine at a time.
 type MetricsSink struct {
 	R *Registry
 
@@ -206,17 +383,26 @@ func (m *MetricsSink) Emit(ev Event) {
 			m.R.SetGauge("sim.wall_per_sim_s", ev.B)
 		}
 	case KSample:
+		// Gauge names join with '_' (not '.') so the dotted path keeps
+		// its comp.instance.metric shape for Prometheus translation.
 		if ev.Flow != NoFlow {
-			m.R.SetGauge(flowKey("sender", ev.Flow, "sample."+ev.Src), ev.A)
+			m.R.SetGauge(flowKey("sender", ev.Flow, "sample_"+ev.Src), ev.A)
 		} else {
-			m.R.SetGauge(ev.Comp.String()+"."+ev.Src+".sample", ev.A)
+			m.R.SetGauge(srcKey(ev.Comp.String(), ev.Src, "sample"), ev.A)
 		}
 	case KSweepJobTime:
 		m.R.ObserveLog("sweep.job_latency_s", ev.A)
+	case KSweepStart:
+		m.R.Inc("sweep.started", 1)
+		m.R.SetGauge("sweep.jobs_total", ev.A)
+		m.R.SetGauge("sweep.workers", ev.B)
+	case KSweepJob:
+		m.R.SetGauge("sweep.jobs_completed", ev.A)
 	case KSweepWorker:
-		m.R.SetGauge(srcKey("sweep.worker", ev.Src, "busy_s"), ev.A)
-		m.R.SetGauge(srcKey("sweep.worker", ev.Src, "jobs"), ev.B)
+		m.R.SetGauge(srcKey("sweep", ev.Src, "worker_busy_s"), ev.A)
+		m.R.SetGauge(srcKey("sweep", ev.Src, "worker_jobs"), ev.B)
 	case KSweepDone:
+		m.R.Inc("sweep.finished", 1)
 		if ev.B > 0 {
 			m.R.SetGauge("sweep.wall_s", ev.B)
 		}

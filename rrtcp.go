@@ -28,6 +28,7 @@ import (
 	"rrtcp/internal/invariant"
 	"rrtcp/internal/model"
 	"rrtcp/internal/netem"
+	"rrtcp/internal/obs"
 	"rrtcp/internal/scenario"
 	"rrtcp/internal/sim"
 	"rrtcp/internal/stats"
@@ -259,6 +260,39 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 // NewMetricsSink returns a sink aggregating events into a fresh
 // registry, exposed as its R field.
 func NewMetricsSink() *MetricsSink { return telemetry.NewMetricsSink() }
+
+// --- live introspection (HTTP server, progress state) ---
+
+type (
+	// ProgressState is a concurrency-safe materialized view of sweep
+	// progress events, readable while the sweep runs — the data source
+	// behind the introspection server's /progress endpoint.
+	ProgressState = telemetry.ProgressState
+	// ProgressSnapshot is a point-in-time copy of sweep progress.
+	ProgressSnapshot = telemetry.ProgressSnapshot
+	// ObsServer is the live introspection HTTP server: /metrics
+	// (Prometheus text format), /progress (JSON), /healthz, and
+	// /debug/pprof. See internal/obs and docs/OBSERVABILITY.md.
+	ObsServer = obs.Server
+)
+
+// NewProgressState returns an empty progress view, ready to subscribe
+// to a sweep's progress bus alongside (or instead of) a ProgressSink.
+func NewProgressState() *ProgressState { return telemetry.NewProgressState() }
+
+// NewObsServer returns an unstarted introspection server over the
+// given sources; either may be nil. Call Start(addr) to serve.
+func NewObsServer(r *MetricsRegistry, p *ProgressState) *ObsServer {
+	return obs.New(obs.Config{Registry: r, Progress: p})
+}
+
+// ValidatePrometheus structurally checks Prometheus text-format
+// exposition output (the format /metrics serves).
+func ValidatePrometheus(data []byte) error { return telemetry.ValidatePrometheus(data) }
+
+// SimCounters reports the process-wide simulator totals: discrete
+// events processed and packets transmitted across every scheduler.
+func SimCounters() (events, packets uint64) { return sim.GlobalCounters() }
 
 // --- spans, sampled series, and trace export ---
 

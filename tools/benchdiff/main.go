@@ -1,0 +1,209 @@
+// Command benchdiff compares two benchmark JSON files produced by
+// tools/benchjson and fails when performance regressed:
+//
+//	go run ./tools/benchdiff [-threshold 0.10] [-warn] old.json new.json
+//
+// For every benchmark present in both files it prints a delta table
+// covering ns/op and each custom metric. Two families of numbers gate
+// the exit status:
+//
+//   - ns_per_op — lower is better; a relative increase beyond the
+//     threshold is a regression.
+//   - custom metrics whose unit ends in "/sec" (events/sec,
+//     packets/sec) — higher is better; a relative decrease beyond the
+//     threshold is a regression.
+//
+// Other custom metrics (allocs/event, rr-Kbps, transfer-s) are shown
+// for context but never gate, since their polarity is benchmark-
+// specific. Benchmarks present in only one file are listed but do not
+// gate either, so adding or retiring a benchmark never breaks the
+// comparison. With -warn the table and verdict still print but the
+// exit status stays zero — the soft mode CI uses while a number
+// stabilizes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// result mirrors the benchjson output shape.
+type result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics"`
+}
+
+// row is one rendered comparison line.
+type row struct {
+	Bench      string
+	Metric     string
+	Old, New   float64
+	Delta      float64 // relative change, sign normalized so >0 = worse
+	Gates      bool    // whether this metric can fail the comparison
+	Regression bool
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative regression tolerance (0.10 = 10%)")
+	warn := flag.Bool("warn", false, "report regressions but exit zero")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-warn] old.json new.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	code, err := run(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *warn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func load(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m map[string]result
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return m, nil
+}
+
+// run executes the comparison, returning the process exit code: 0 when
+// clean (or -warn), 1 when a gating metric regressed past threshold.
+func run(w io.Writer, oldPath, newPath string, threshold float64, warn bool) (int, error) {
+	oldRes, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	rows, onlyOld, onlyNew := diff(oldRes, newRes, threshold)
+	render(w, rows, onlyOld, onlyNew, threshold)
+
+	regressed := 0
+	for _, r := range rows {
+		if r.Regression {
+			regressed++
+		}
+	}
+	switch {
+	case regressed == 0:
+		fmt.Fprintf(w, "\nOK: no gating metric regressed beyond %.0f%%\n", threshold*100)
+		return 0, nil
+	case warn:
+		fmt.Fprintf(w, "\nWARN: %d gating metric(s) regressed beyond %.0f%% (exit 0, -warn)\n",
+			regressed, threshold*100)
+		return 0, nil
+	default:
+		fmt.Fprintf(w, "\nFAIL: %d gating metric(s) regressed beyond %.0f%%\n", regressed, threshold*100)
+		return 1, nil
+	}
+}
+
+// diff builds the comparison rows for benchmarks common to both sides,
+// plus the names unique to each.
+func diff(oldRes, newRes map[string]result, threshold float64) (rows []row, onlyOld, onlyNew []string) {
+	names := make([]string, 0, len(oldRes))
+	for n := range oldRes {
+		if _, ok := newRes[n]; ok {
+			names = append(names, n)
+		} else {
+			onlyOld = append(onlyOld, n)
+		}
+	}
+	for n := range newRes {
+		if _, ok := oldRes[n]; !ok {
+			onlyNew = append(onlyNew, n)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	for _, n := range names {
+		o, nw := oldRes[n], newRes[n]
+		// ns/op: lower is better; delta>0 means slower.
+		rows = append(rows, mkRow(n, "ns/op", o.NsPerOp, nw.NsPerOp, false, true, threshold))
+		units := make([]string, 0, len(o.Metrics))
+		for u := range o.Metrics {
+			if _, ok := nw.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			higherBetter := strings.HasSuffix(u, "/sec")
+			rows = append(rows, mkRow(n, u, o.Metrics[u], nw.Metrics[u], higherBetter, higherBetter, threshold))
+		}
+	}
+	return rows, onlyOld, onlyNew
+}
+
+// mkRow normalizes the delta so positive always means "worse" for
+// gating metrics; for non-gating context metrics it is the raw relative
+// change.
+func mkRow(bench, metric string, o, n float64, higherBetter, gates bool, threshold float64) row {
+	var delta float64
+	switch {
+	case o == 0 && n == 0:
+		delta = 0
+	case o == 0:
+		delta = 1 // from zero to something: treat as 100%
+	case higherBetter:
+		delta = (o - n) / o
+	default:
+		delta = (n - o) / o
+	}
+	return row{
+		Bench: bench, Metric: metric, Old: o, New: n,
+		Delta: delta, Gates: gates,
+		Regression: gates && delta > threshold,
+	}
+}
+
+func render(w io.Writer, rows []row, onlyOld, onlyNew []string, threshold float64) {
+	fmt.Fprintf(w, "%-44s %-14s %14s %14s %9s  %s\n",
+		"benchmark", "metric", "old", "new", "delta", "verdict")
+	for _, r := range rows {
+		verdict := ""
+		switch {
+		case r.Regression:
+			verdict = "REGRESSION"
+		case !r.Gates:
+			verdict = "(info)"
+		case r.Delta < -threshold:
+			verdict = "improved"
+		}
+		// The sign convention: positive delta = worse for gated metrics.
+		fmt.Fprintf(w, "%-44s %-14s %14.4g %14.4g %8.1f%%  %s\n",
+			r.Bench, r.Metric, r.Old, r.New, r.Delta*100, verdict)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(w, "%-44s only in old file (retired?)\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(w, "%-44s only in new file (added)\n", n)
+	}
+}

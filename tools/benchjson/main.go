@@ -24,12 +24,15 @@ import (
 )
 
 // result holds one benchmark line's measurements. Memory fields are
-// zero when the input was produced without -benchmem.
+// zero when the input was produced without -benchmem. Custom units
+// reported via b.ReportMetric (events/sec, allocs/event, rr-Kbps, ...)
+// land in Metrics keyed by their unit string.
 type result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Iterations  int64              `json:"iterations"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -83,13 +86,18 @@ func parseLine(line string) (string, result, bool) {
 		if err != nil {
 			return "", result{}, false
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			res.NsPerOp = v
 		case "B/op":
 			res.BytesPerOp = v
 		case "allocs/op":
 			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
 		}
 	}
 	if res.NsPerOp < 0 {

@@ -48,6 +48,30 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	}
 }
 
+func TestParseLineCustomMetrics(t *testing.T) {
+	line := "BenchmarkEventsPerSec-8  	       3	 414023279 ns/op	         2.1 allocs/event	   2571245 events/sec	  965432 B/op	   20723 allocs/op"
+	name, res, ok := parseLine(line)
+	if !ok || name != "BenchmarkEventsPerSec-8" {
+		t.Fatalf("parseLine = %q, %v, %v", name, res, ok)
+	}
+	if res.NsPerOp != 414023279 || res.BytesPerOp != 965432 || res.AllocsPerOp != 20723 {
+		t.Errorf("standard fields wrong: %+v", res)
+	}
+	if res.Metrics["events/sec"] != 2571245 || res.Metrics["allocs/event"] != 2.1 {
+		t.Errorf("custom metrics wrong: %+v", res.Metrics)
+	}
+	if len(res.Metrics) != 2 {
+		t.Errorf("Metrics has %d entries, want 2: %v", len(res.Metrics), res.Metrics)
+	}
+}
+
+func TestMetricsOmittedWhenAbsent(t *testing.T) {
+	_, res, ok := parseLine("BenchmarkX-8 100 71 ns/op")
+	if !ok || res.Metrics != nil {
+		t.Errorf("plain line grew a Metrics map: %+v ok=%v", res, ok)
+	}
+}
+
 func TestRunRejectsEmptyInput(t *testing.T) {
 	var out strings.Builder
 	err := run(strings.NewReader("PASS\nok  	pkg	0.1s\n"), &out)

@@ -24,6 +24,17 @@
 // output is byte-identical at any setting. -progress renders a live
 // status line on stderr.
 //
+// Resilience flags harden long sweeps: -checkpoint DIR journals each
+// completed job so a killed run can continue with -resume (the merged
+// output stays byte-identical to an uninterrupted run); -job-timeout
+// bounds a job's wall-clock time; -retries re-runs transiently failed
+// jobs (timeouts, panics) with capped exponential backoff; -stall-after
+// reports hung jobs on stderr and /progress; -progress-events writes
+// the sweep lifecycle stream (including stalls and retries) as NDJSON
+// for rrtrace summary. SIGINT/SIGTERM shut down gracefully — dispatch
+// stops, in-flight jobs drain, the journal and telemetry sinks flush —
+// and a second signal aborts immediately.
+//
 // Observability flags shared by the experiments and scenario runs:
 // -events streams structured telemetry as NDJSON (for rrtrace),
 // -trace-out assembles the same stream into spans + sampled series and
@@ -37,14 +48,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"rrtcp"
@@ -84,6 +98,12 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = sequential)")
 	progress := fs.Bool("progress", false, "render live sweep progress on stderr")
 	httpAddr := fs.String("http", "", "serve live introspection (/metrics, /progress, /healthz, /debug/pprof) on this address, e.g. :8080")
+	checkpoint := fs.String("checkpoint", "", "journal completed sweep jobs under this directory so an interrupted run can resume")
+	resume := fs.Bool("resume", false, "restore jobs journaled by a previous interrupted run (requires -checkpoint)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock deadline; overruns count as transient failures (0 = off)")
+	retries := fs.Int("retries", 1, "attempts per job for transient failures (timeouts, panics), with capped exponential backoff; 1 = no retry")
+	stallAfter := fs.Duration("stall-after", 0, "report jobs in flight longer than this as stalled, on stderr and /progress (0 = off)")
+	progressEvents := fs.String("progress-events", "", "stream sweep lifecycle events (start/job/done, stalls, retries) as NDJSON to this file, for rrtrace summary")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -117,7 +137,38 @@ func run(args []string) error {
 			opts.Variants = append(opts.Variants, kind)
 		}
 	}
-	runOpt := rrtcp.ExperimentRunOptions{Parallel: *parallel}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	runOpt := rrtcp.ExperimentRunOptions{
+		Parallel:      *parallel,
+		JobTimeout:    *jobTimeout,
+		StallAfter:    *stallAfter,
+		CheckpointDir: *checkpoint,
+		Resume:        *resume,
+	}
+	if *retries > 1 {
+		runOpt.Retry = rrtcp.SweepRetryPolicy{MaxAttempts: *retries}
+	}
+	if *checkpoint != "" {
+		runOpt.OnCheckpoint = func(dir string, restored, skipped int) {
+			if restored > 0 || skipped > 0 {
+				fmt.Fprintf(os.Stderr, "rrsim: checkpoint %s: restored %d job(s), skipped %d stale record(s)\n",
+					dir, restored, skipped)
+			} else {
+				fmt.Fprintf(os.Stderr, "rrsim: checkpointing to %s\n", dir)
+			}
+		}
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the sweep
+	// context — dispatch stops, in-flight jobs drain, the checkpoint
+	// journal and telemetry sinks flush, the obs server shuts down — and
+	// a second signal aborts immediately.
+	ctx, stopSignals := signalContext()
+	defer stopSignals()
+	runOpt.Context = ctx
+
 	tel := telemetryOpts{events: *events, metrics: *metrics, traceOut: *traceJSON}
 
 	// The progress bus carries sweep lifecycle events (published on the
@@ -126,6 +177,23 @@ func run(args []string) error {
 	var progressSinks []rrtcp.TelemetrySink
 	if *progress {
 		progressSinks = append(progressSinks, rrtcp.NewProgressSink(os.Stderr))
+	}
+	// Sweep lifecycle events are wall-clock and completion-ordered, so
+	// they get their own NDJSON file rather than polluting the
+	// deterministic -events stream.
+	if *progressEvents != "" {
+		f, err := os.Create(*progressEvents)
+		if err != nil {
+			return fmt.Errorf("create -progress-events file: %w", err)
+		}
+		nd := rrtcp.NewNDJSONSink(f)
+		defer func() {
+			if err := nd.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rrsim: flush -progress-events: %v\n", err)
+			}
+			f.Close()
+		}()
+		progressSinks = append(progressSinks, nd)
 	}
 	if *httpAddr != "" {
 		liveMetrics := rrtcp.NewMetricsSink()
@@ -163,6 +231,33 @@ func run(args []string) error {
 		return withProfiles(*pprofDir, do)
 	}
 	return do()
+}
+
+// signalContext returns a context canceled by the first SIGINT or
+// SIGTERM, so a sweep drains cleanly (partial results journaled,
+// telemetry flushed). A second signal hard-exits with the conventional
+// 128+SIGINT status. The returned stop func detaches the handler.
+func signalContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\nrrsim: %v — stopping dispatch, draining in-flight jobs (interrupt again to abort)\n", sig)
+		cancel(fmt.Errorf("received %v", sig))
+		if sig, ok = <-ch; ok {
+			fmt.Fprintf(os.Stderr, "rrsim: %v again — aborting\n", sig)
+			os.Exit(130)
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		close(ch)
+		cancel(nil)
+	}
 }
 
 // withProfiles brackets fn with a CPU profile and snapshots the heap

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -392,5 +393,84 @@ func TestRunBurstySubcommand(t *testing.T) {
 	}
 	if len(res.Points) == 0 {
 		t.Fatal("no points")
+	}
+}
+
+// TestRunCheckpointResume drives the crash-recovery workflow end to
+// end through the CLI: checkpoint a chaos sweep, chop the journal to
+// simulate a mid-run kill, resume, and demand stdout byte-identical to
+// an uninterrupted run.
+func TestRunCheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ckpt")
+	args := []string{"chaos", "-runs", "1", "-seed", "3", "-bytes", "50000", "-horizon", "30s", "-parallel", "2"}
+
+	baseline, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	full, err := capture(t, func() error { return run(append(args, "-checkpoint", ckpt)) })
+	if err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if full != baseline {
+		t.Fatal("checkpointing changed the output")
+	}
+
+	// Simulate a kill partway through: keep only the first few journal
+	// records (plus a torn final line, the usual crash scar).
+	matches, err := filepath.Glob(filepath.Join(ckpt, "sweep-chaos-*", "journal.ndjson"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("journal glob: %v %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte{'\n'})
+	if len(lines) < 5 {
+		t.Fatalf("journal has %d records, want more to truncate meaningfully", len(lines))
+	}
+	torn := append(bytes.Join(lines[:3], nil), lines[3][:len(lines[3])/2]...)
+	if err := os.WriteFile(matches[0], torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := capture(t, func() error {
+		return run(append(args, "-checkpoint", ckpt, "-resume"))
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed != baseline {
+		t.Fatalf("resumed output differs from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+			baseline, resumed)
+	}
+}
+
+func TestRunResumeRequiresCheckpoint(t *testing.T) {
+	if err := run([]string{"fig5", "-resume"}); err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("got %v, want an error demanding -checkpoint", err)
+	}
+}
+
+// TestRunProgressEventsNDJSON pins the -progress-events flag: the
+// sweep lifecycle stream lands in its own NDJSON file (where rrtrace
+// summary reads retries and stalls from), not in stdout.
+func TestRunProgressEventsNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ndjson")
+	if _, err := capture(t, func() error {
+		return run([]string{"chaos", "-runs", "1", "-bytes", "50000", "-horizon", "30s", "-progress-events", path})
+	}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"sweep-start"`, `"sweep-job"`, `"sweep-done"`} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Fatalf("progress-events stream missing %s:\n%.400s", want, data)
+		}
 	}
 }

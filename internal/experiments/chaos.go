@@ -282,6 +282,19 @@ type chaosOut struct {
 	Events     []telemetry.Event
 }
 
+// DecodeResult implements ResultCodec: it reconstructs one job's
+// chaosOut from a checkpoint-journal record, so an interrupted chaos
+// sweep can resume. chaosOut round-trips through JSON exactly —
+// invariant.Violation and telemetry.Event are both plain exported-field
+// structs — which is what keeps the resumed reduce byte-identical.
+func (e *ChaosExperiment) DecodeResult(data []byte) (any, error) {
+	var out chaosOut
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("chaos: decode checkpointed result: %w", err)
+	}
+	return out, nil
+}
+
 // Jobs implements Experiment.
 func (e *ChaosExperiment) Jobs() ([]sweep.Job, error) {
 	variants := len(e.cfg.Variants)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -140,6 +141,19 @@ func (e *Figure5Experiment) Name() string { return "fig5" }
 type figure5Out struct {
 	Row    Figure5Row
 	Events []telemetry.Event
+}
+
+// DecodeResult implements ResultCodec: it reconstructs one job's
+// figure5Out from a checkpoint-journal record, so an interrupted fig5
+// sweep can resume. The captured event stream rides along, which is
+// why a resumed run's republished NDJSON telemetry stays byte-identical
+// to an uninterrupted one.
+func (e *Figure5Experiment) DecodeResult(data []byte) (any, error) {
+	var out figure5Out
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("figure 5: decode checkpointed result: %w", err)
+	}
+	return out, nil
 }
 
 // Jobs implements Experiment.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -136,29 +137,90 @@ func Build(name string, o Options) (Experiment, error) {
 }
 
 // RunOptions parameterizes experiment execution, as opposed to the
-// experiment definition itself.
+// experiment definition itself. The zero value of every resilience
+// field means "off", matching sweep.Config.
 type RunOptions struct {
 	// Parallel bounds the sweep worker pool; <= 0 means GOMAXPROCS and
 	// 1 forces sequential execution. The result is byte-identical
 	// either way.
 	Parallel int
 	// Progress, when non-nil, receives the sweep's progress events
-	// (telemetry.KSweepStart/KSweepJob/KSweepDone).
+	// (telemetry.KSweepStart/KSweepJob/KSweepDone, and the resilience
+	// kinds KSweepStall/KSweepRetry).
 	Progress *telemetry.Bus
+	// Context, when non-nil, cancels the sweep: dispatch stops,
+	// in-flight jobs drain, and Run returns an error wrapping
+	// context.Cause. Completed jobs are still journaled when a
+	// checkpoint is active, so a canceled run can be resumed.
+	Context context.Context
+	// JobTimeout bounds each job attempt's wall-clock time; overruns
+	// are transient and retried under Retry.
+	JobTimeout time.Duration
+	// StallAfter arms the sweep's hung-job watchdog.
+	StallAfter time.Duration
+	// Retry re-executes transiently failed jobs with capped
+	// exponential backoff.
+	Retry sweep.RetryPolicy
+	// FaultInjector injects environmental faults per (job, attempt) —
+	// the chaos hook for exercising the retry path.
+	FaultInjector func(index, attempt int) error
+	// CheckpointDir, when non-empty, journals completed job results
+	// under this directory (content-addressed per sweep identity). The
+	// experiment must implement ResultCodec.
+	CheckpointDir string
+	// Resume restores results journaled by a previous interrupted run
+	// instead of starting the checkpoint afresh.
+	Resume bool
+	// OnCheckpoint, when non-nil, is told where the journal lives and
+	// what a resume restored, before the sweep starts.
+	OnCheckpoint func(dir string, restored, skipped int)
+}
+
+// ResultCodec is implemented by experiments whose job results survive a
+// JSON round-trip: DecodeResult must invert json.Marshal of whatever
+// the experiment's jobs return, reconstructing the concrete value its
+// Reduce expects. Only such experiments can be checkpointed and
+// resumed.
+type ResultCodec interface {
+	DecodeResult(data []byte) (any, error)
 }
 
 // Run executes an experiment end to end: expand jobs, sweep them across
-// the worker pool, reduce the ordered results.
+// the worker pool, reduce the ordered results. With CheckpointDir set
+// the sweep journals completed jobs and, with Resume, skips jobs a
+// previous run already finished — the reduced output stays
+// byte-identical to an uninterrupted run.
 func Run(e Experiment, opt RunOptions) (Renderable, error) {
 	jobs, err := e.Jobs()
 	if err != nil {
 		return nil, err
 	}
-	results, err := sweep.Run(sweep.Config{
-		Name:      e.Name(),
-		Workers:   opt.Parallel,
-		Telemetry: opt.Progress,
-	}, jobs)
+	cfg := sweep.Config{
+		Name:          e.Name(),
+		Workers:       opt.Parallel,
+		Telemetry:     opt.Progress,
+		Context:       opt.Context,
+		JobTimeout:    opt.JobTimeout,
+		StallAfter:    opt.StallAfter,
+		Retry:         opt.Retry,
+		FaultInjector: opt.FaultInjector,
+	}
+	if opt.CheckpointDir != "" {
+		codec, ok := e.(ResultCodec)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s does not support checkpointing (no result codec)", e.Name())
+		}
+		journal, err := sweep.OpenJournal(opt.CheckpointDir, cfg, jobs, opt.Resume, codec.DecodeResult)
+		if err != nil {
+			return nil, err
+		}
+		defer journal.Close()
+		if opt.OnCheckpoint != nil {
+			opt.OnCheckpoint(journal.Dir(), journal.RestoredCount(), journal.Skipped())
+		}
+		cfg.Checkpoint = journal
+	}
+	results, err := sweep.Run(cfg, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -79,7 +80,17 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.ln = ln
 	s.started = time.Now()
-	s.srv = &http.Server{Handler: s.mux()}
+	// Slow-client protection: bound how long a connection may take to
+	// present its request, so a stalled or malicious peer cannot pin a
+	// handler goroutine forever. No WriteTimeout — /debug/pprof/profile
+	// legitimately streams for its full ?seconds= window (30s default)
+	// and a write deadline would truncate it.
+	s.srv = &http.Server{
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = s.srv.Serve(ln) }() // Serve returns ErrServerClosed on Close
 	return ln.Addr().String(), nil
 }
@@ -92,13 +103,28 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener and in-flight handlers. Safe on nil and on
-// a never-started server.
+// shutdownGrace bounds how long Close waits for in-flight scrapes to
+// finish before cutting connections. Long enough for a /metrics or
+// /progress response, deliberately shorter than a full pprof profile —
+// shutdown should not wait 30s on a profiler.
+const shutdownGrace = 3 * time.Second
+
+// Close stops the server gracefully: the listener closes immediately
+// (no new scrapes), in-flight handlers get shutdownGrace to finish,
+// and only then are stragglers cut. Safe on nil and on a never-started
+// server.
 func (s *Server) Close() error {
 	if s == nil || s.srv == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Grace expired with handlers still running (a long pprof
+		// stream, a wedged client): fall back to the hard close.
+		return s.srv.Close()
+	}
+	return nil
 }
 
 // mux assembles the endpoint routing. Handlers are registered on a

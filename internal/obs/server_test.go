@@ -252,3 +252,78 @@ func TestServerDoubleStartFails(t *testing.T) {
 		t.Errorf("progress-less /progress not JSON: %v", err)
 	}
 }
+
+// TestServerSlowClientTimeouts pins the hardening contract: header and
+// body read deadlines protect handler goroutines from stalled peers,
+// while no write deadline is set — /debug/pprof/profile legitimately
+// streams for its whole ?seconds= window.
+func TestServerSlowClientTimeouts(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: a stalled peer pins a goroutine forever")
+	}
+	if s.srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset")
+	}
+	if s.srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections never reaped")
+	}
+	if s.srv.WriteTimeout != 0 {
+		t.Error("WriteTimeout set: would truncate long pprof profile streams")
+	}
+}
+
+// TestServerCloseGraceful checks shutdown lets an in-flight scrape
+// finish: a /metrics request racing Close must still complete with a
+// full, valid body, and Close must be safe to call again afterwards.
+func TestServerCloseGraceful(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Inc("queue.fwd.drops", 1)
+	s := New(Config{Registry: reg})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type scrape struct {
+		code int
+		body []byte
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		got <- scrape{code: resp.StatusCode, body: body, err: err}
+	}()
+	// Close concurrently with the scrape; graceful shutdown means an
+	// admitted request is never cut mid-body. If Close wins the race
+	// outright the request is refused before it starts — also fine.
+	if err := s.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	r := <-got
+	if r.err == nil {
+		if r.code != http.StatusOK {
+			t.Fatalf("scrape racing Close got status %d", r.code)
+		}
+		if err := telemetry.ValidatePrometheus(r.body); err != nil {
+			t.Fatalf("scrape racing Close returned a truncated exposition: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The listener is really gone.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

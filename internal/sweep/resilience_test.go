@@ -1,0 +1,632 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rrtcp/internal/telemetry"
+)
+
+// --- retry policy and error taxonomy ---
+
+func TestBackoffCappedExponential(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Zero knobs resolve to the defaults.
+	var zero RetryPolicy
+	if got := zero.Backoff(1); got != DefaultBaseBackoff {
+		t.Fatalf("zero-policy Backoff(1) = %v, want %v", got, DefaultBaseBackoff)
+	}
+	// Deep attempts must not overflow into negative durations.
+	if got := zero.Backoff(200); got != DefaultMaxBackoff {
+		t.Fatalf("zero-policy Backoff(200) = %v, want cap %v", got, DefaultMaxBackoff)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	deterministic := errors.New("cwnd invariant violated")
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{deterministic, false},
+		{fmt.Errorf("wrapped: %w", deterministic), false},
+		{&PanicError{Value: "boom"}, true},
+		{&TimeoutError{Job: "j", Index: 3, After: time.Second}, true},
+		{&FaultError{Err: errors.New("injected")}, true},
+		{fmt.Errorf("job 3: %w", &TimeoutError{}), true},
+	}
+	for i, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Fatalf("case %d: Transient(%v) = %v, want %v", i, c.err, got, c.want)
+		}
+	}
+}
+
+func TestRunRetriesTransientFailures(t *testing.T) {
+	// Jobs 1 and 3 fail transiently on their first two attempts and then
+	// succeed; the sweep must complete with the same results a clean run
+	// produces, publishing one KSweepRetry event per failed attempt.
+	var backoffs []time.Duration
+	ring := telemetry.NewRing(0)
+	attempts := make([]atomic.Int32, 4)
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		jobs[i] = Job{
+			Name: fmt.Sprintf("j%d", i),
+			Run: func(seed int64) (any, error) {
+				n := attempts[i].Add(1)
+				if (i == 1 || i == 3) && n <= 2 {
+					return nil, &FaultError{Err: fmt.Errorf("flake %d", n)}
+				}
+				return seed, nil
+			},
+		}
+	}
+	res, err := Run(Config{
+		Name: "retry", Seed: 5, Workers: 2, Telemetry: telemetry.NewBus(ring),
+		Retry: RetryPolicy{MaxAttempts: 3, Sleep: func(d time.Duration) { backoffs = append(backoffs, d) }},
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if res[i].(int64) != DeriveSeed(5, i) {
+			t.Fatalf("result %d = %v after retries, want derived seed", i, res[i])
+		}
+	}
+	retries := ring.EventsOf(telemetry.KSweepRetry)
+	if len(retries) != 4 {
+		t.Fatalf("%d retry events, want 4 (2 jobs x 2 failed attempts)", len(retries))
+	}
+	for _, ev := range retries {
+		if ev.Seq != 1 && ev.Seq != 3 {
+			t.Fatalf("retry event for job %d, want 1 or 3", ev.Seq)
+		}
+		if ev.B <= 0 {
+			t.Fatalf("retry event backoff %v, want > 0", ev.B)
+		}
+	}
+	// The Sleep hook observed the deterministic backoff ladder. Order
+	// across jobs is scheduling-dependent; per-attempt values are not.
+	if len(backoffs) != 4 {
+		t.Fatalf("%d backoff sleeps, want 4", len(backoffs))
+	}
+	first, second := 0, 0
+	for _, d := range backoffs {
+		switch d {
+		case DefaultBaseBackoff:
+			first++
+		case 2 * DefaultBaseBackoff:
+			second++
+		default:
+			t.Fatalf("unexpected backoff %v", d)
+		}
+	}
+	if first != 2 || second != 2 {
+		t.Fatalf("backoff ladder = %v, want two first-step and two second-step delays", backoffs)
+	}
+}
+
+func TestRunNeverRetriesDeterministicErrors(t *testing.T) {
+	var attempts atomic.Int32
+	boom := errors.New("deterministic sim error")
+	jobs := []Job{{Name: "det", Run: func(int64) (any, error) {
+		attempts.Add(1)
+		return nil, boom
+	}}}
+	_, err := Run(Config{Name: "det", Workers: 1, Retry: RetryPolicy{MaxAttempts: 5, Sleep: func(time.Duration) {}}}, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the job error", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("deterministic failure attempted %d times, want 1", n)
+	}
+}
+
+func TestRunRetriesExhaustSurfaceLastError(t *testing.T) {
+	var attempts atomic.Int32
+	jobs := []Job{{Name: "always-flaky", Run: func(int64) (any, error) {
+		return nil, &FaultError{Err: fmt.Errorf("attempt %d", attempts.Add(1))}
+	}}}
+	_, err := Run(Config{Name: "exhaust", Workers: 1, Retry: RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}}, jobs)
+	if err == nil || !strings.Contains(err.Error(), "attempt 3") {
+		t.Fatalf("got %v, want the final attempt's error", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("%d attempts, want MaxAttempts=3", n)
+	}
+}
+
+// --- wall-clock deadlines and the stall watchdog ---
+
+func TestRunJobTimeoutRetriesAndSucceeds(t *testing.T) {
+	var attempts atomic.Int32
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{{Name: "slow-once", Run: func(seed int64) (any, error) {
+		if attempts.Add(1) == 1 {
+			<-release // first attempt hangs until the test ends
+		}
+		return seed, nil
+	}}}
+	ring := telemetry.NewRing(0)
+	res, err := Run(Config{
+		Name: "deadline", Seed: 3, Workers: 1, Telemetry: telemetry.NewBus(ring),
+		JobTimeout: 30 * time.Millisecond,
+		Retry:      RetryPolicy{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+	}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].(int64) != DeriveSeed(3, 0) {
+		t.Fatalf("result %v, want derived seed", res[0])
+	}
+	if n := len(ring.EventsOf(telemetry.KSweepRetry)); n != 1 {
+		t.Fatalf("%d retry events, want 1 (the timed-out attempt)", n)
+	}
+}
+
+func TestRunJobTimeoutExhaustedIsTimeoutError(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{{Name: "wedged", Run: func(int64) (any, error) {
+		<-release
+		return nil, nil
+	}}}
+	_, err := Run(Config{Name: "deadline", Workers: 1, JobTimeout: 20 * time.Millisecond}, jobs)
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("got %v, want a *TimeoutError", err)
+	}
+	if te.Index != 0 || te.Job != "wedged" || te.After != 20*time.Millisecond {
+		t.Fatalf("timeout error %+v mislabeled", te)
+	}
+}
+
+func TestRunWatchdogReportsStalledJobs(t *testing.T) {
+	gate := make(chan struct{})
+	jobs := []Job{
+		{Name: "stuck", Run: func(int64) (any, error) { <-gate; return 1, nil }},
+		{Name: "quick", Run: func(int64) (any, error) { return 2, nil }},
+	}
+	ring := telemetry.NewRing(0)
+	done := make(chan struct{})
+	go func() {
+		// Release the stuck job once the watchdog has had several
+		// chances to observe it past the threshold.
+		time.Sleep(150 * time.Millisecond)
+		close(gate)
+		close(done)
+	}()
+	if _, err := Run(Config{
+		Name: "watch", Workers: 2, Telemetry: telemetry.NewBus(ring),
+		StallAfter: 40 * time.Millisecond,
+	}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	stalls := ring.EventsOf(telemetry.KSweepStall)
+	if len(stalls) != 1 {
+		t.Fatalf("%d stall events, want exactly 1 (reported once per occupancy)", len(stalls))
+	}
+	ev := stalls[0]
+	if ev.Src != "stuck" || ev.Seq != 0 {
+		t.Fatalf("stall event %+v, want job 0 (stuck)", ev)
+	}
+	if ev.A < 0.04 {
+		t.Fatalf("stall reported %.3fs in flight, want >= threshold", ev.A)
+	}
+}
+
+// --- panics ---
+
+func TestRunPanicNil(t *testing.T) {
+	jobs := []Job{{Name: "nil-panic", Run: func(int64) (any, error) { panic(nil) }}}
+	_, err := Run(Config{Workers: 1}, jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want a *PanicError", err)
+	}
+	if _, ok := pe.Value.(*runtime.PanicNilError); !ok {
+		t.Fatalf("panic(nil) surfaced as %T (%v), want *runtime.PanicNilError", pe.Value, pe.Value)
+	}
+}
+
+func TestRunPanicCarriesStack(t *testing.T) {
+	jobs := []Job{{Name: "explodes", Run: func(int64) (any, error) { panic("kaboom") }}}
+	_, err := Run(Config{Workers: 1}, jobs)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want a *PanicError", err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "goroutine") {
+		t.Fatalf("panic error lacks value or stack snippet:\n%v", err)
+	}
+	if len(pe.Stack) > 2048+128 {
+		t.Fatalf("stack snippet %d bytes, want truncated near 2048", len(pe.Stack))
+	}
+}
+
+// --- partial results and multi-error reporting ---
+
+func TestRunReturnsPartialResultsWithJoinedErrors(t *testing.T) {
+	boom1, boom2 := errors.New("boom-1"), errors.New("boom-2")
+	jobs := []Job{
+		{Name: "ok-0", Run: func(int64) (any, error) { return 10, nil }},
+		{Name: "bad-1", Run: func(int64) (any, error) { return nil, boom1 }},
+		{Name: "ok-2", Run: func(int64) (any, error) { return 30, nil }},
+		{Name: "bad-3", Run: func(int64) (any, error) { return nil, boom2 }},
+	}
+	for _, workers := range []int{1, 4} {
+		res, err := Run(Config{Name: "partial", Workers: workers}, jobs)
+		if !errors.Is(err, boom1) || !errors.Is(err, boom2) {
+			t.Fatalf("workers=%d: joined error %v must carry both failures", workers, err)
+		}
+		// Lowest index first in the rendered message.
+		msg := err.Error()
+		if strings.Index(msg, "bad-1") > strings.Index(msg, "bad-3") {
+			t.Fatalf("workers=%d: errors not lowest-index-first:\n%s", workers, msg)
+		}
+		if res == nil || res[0] != 10 || res[2] != 30 {
+			t.Fatalf("workers=%d: partial results %v, want successes preserved", workers, res)
+		}
+		if res[1] != nil || res[3] != nil {
+			t.Fatalf("workers=%d: failed slots %v, want nil", workers, res)
+		}
+	}
+}
+
+// --- cancellation ---
+
+func TestRunCancellationDrainsAndReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	gate := make(chan struct{})
+	started := make(chan int, 8)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(seed int64) (any, error) {
+			started <- i
+			<-gate
+			return seed, nil
+		}}
+	}
+	errc := make(chan error, 1)
+	resc := make(chan []any, 1)
+	go func() {
+		res, err := Run(Config{Name: "cancel", Seed: 9, Workers: 2, Context: ctx}, jobs)
+		resc <- res
+		errc <- err
+	}()
+	// Wait for both workers to hold a job, cancel dispatch, then let the
+	// in-flight pair drain.
+	a, b := <-started, <-started
+	cancel()
+	close(gate)
+	res, err := <-resc, <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "6 of 8 jobs unfinished") {
+		t.Fatalf("error %q does not report the partial coverage", err)
+	}
+	// The two in-flight jobs drained to completion; nothing else ran.
+	finished := 0
+	for i, r := range res {
+		if r != nil {
+			finished++
+			if i != a && i != b {
+				t.Fatalf("job %d has a result but was never started (started %d, %d)", i, a, b)
+			}
+			if r.(int64) != DeriveSeed(9, i) {
+				t.Fatalf("drained job %d result %v, want derived seed", i, r)
+			}
+		}
+	}
+	if finished != 2 {
+		t.Fatalf("%d jobs finished after cancel, want the 2 in flight", finished)
+	}
+}
+
+func TestRunCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	jobs := []Job{{Name: "never", Run: func(int64) (any, error) { ran.Add(1); return 1, nil }}}
+	res, err := Run(Config{Name: "pre-canceled", Workers: 1, Context: ctx}, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("job ran %d times under a pre-canceled context", n)
+	}
+	if res == nil || res[0] != nil {
+		t.Fatalf("results %v, want an all-nil slice", res)
+	}
+}
+
+// --- fault injection: chaos-testing the retry path itself ---
+
+func TestRunFaultInjectorExercisesRetries(t *testing.T) {
+	jobs := make([]Job, 24)
+	for i := range jobs {
+		jobs[i] = spinJob(40 + i)
+	}
+	clean, err := Run(Config{Name: "fi", Seed: 11, Workers: 4}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := telemetry.NewRing(0)
+	faulty, err := Run(Config{
+		Name: "fi", Seed: 11, Workers: 4, Telemetry: telemetry.NewBus(ring),
+		Retry:         RetryPolicy{MaxAttempts: 6, Sleep: func(time.Duration) {}},
+		FaultInjector: NewFaultInjector(42, 0.4),
+	}, jobs)
+	if err != nil {
+		t.Fatalf("sweep under 40%% injected faults failed: %v", err)
+	}
+	for i := range clean {
+		if clean[i] != faulty[i] {
+			t.Fatalf("result %d differs under fault injection: %v vs %v", i, faulty[i], clean[i])
+		}
+	}
+	if n := len(ring.EventsOf(telemetry.KSweepRetry)); n == 0 {
+		t.Fatal("a 40% fault rate produced no retry events")
+	}
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	a, b := NewFaultInjector(7, 0.5), NewFaultInjector(7, 0.5)
+	fired := 0
+	for i := 0; i < 64; i++ {
+		for attempt := 1; attempt <= 3; attempt++ {
+			ea, eb := a(i, attempt), b(i, attempt)
+			if (ea == nil) != (eb == nil) {
+				t.Fatalf("injector not deterministic at (%d,%d)", i, attempt)
+			}
+			if ea != nil {
+				fired++
+			}
+		}
+	}
+	if fired == 0 || fired == 64*3 {
+		t.Fatalf("rate-0.5 injector fired %d/192 times; want a nontrivial fraction", fired)
+	}
+}
+
+// --- checkpoint journal ---
+
+// sinkFunc adapts a closure to telemetry.Sink for test hooks.
+type sinkFunc func(telemetry.Event)
+
+func (f sinkFunc) Emit(ev telemetry.Event) { f(ev) }
+
+// decodeInt64 inverts json.Marshal of the int64 results the test jobs
+// return.
+func decodeInt64(data []byte) (any, error) {
+	var v int64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func seedJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func(seed int64) (any, error) { return seed, nil }}
+	}
+	return jobs
+}
+
+func TestSweepKeyContentAddressing(t *testing.T) {
+	jobs := seedJobs(4)
+	base := SweepKey("exp", 7, jobs)
+	if base != SweepKey("exp", 7, seedJobs(4)) {
+		t.Fatal("key not stable for identical sweeps")
+	}
+	if base == SweepKey("exp", 8, jobs) {
+		t.Fatal("key ignores the master seed")
+	}
+	if base == SweepKey("other", 7, jobs) {
+		t.Fatal("key ignores the sweep name")
+	}
+	if base == SweepKey("exp", 7, seedJobs(5)) {
+		t.Fatal("key ignores the job count")
+	}
+	renamed := seedJobs(4)
+	renamed[2].Name = "renamed"
+	if base == SweepKey("exp", 7, renamed) {
+		t.Fatal("key ignores job names")
+	}
+	pinned := seedJobs(4)
+	pinned[1].Seed = 1234
+	if base == SweepKey("exp", 7, pinned) {
+		t.Fatal("key ignores pinned job seeds")
+	}
+	// Pinning a job to its derived seed is the same sweep.
+	derived := seedJobs(4)
+	derived[1].Seed = DeriveSeed(7, 1)
+	if base != SweepKey("exp", 7, derived) {
+		t.Fatal("key distinguishes derived from explicitly pinned derived seeds")
+	}
+}
+
+func TestJournalResumeProducesIdenticalResults(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Name: "ckpt", Seed: 21, Workers: 2}
+	jobs := seedJobs(10)
+
+	baseline, err := Run(cfg, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: canceled after the first few completions, journaling
+	// what finished.
+	j1, err := OpenJournal(dir, cfg, jobs, false, decodeInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ring := telemetry.NewRing(0)
+	bus := telemetry.NewBus(ring, sinkFunc(func(ev telemetry.Event) {
+		if ev.Kind == telemetry.KSweepJob && ev.A >= 3 {
+			cancel()
+		}
+	}))
+	c1 := cfg
+	c1.Context = ctx
+	c1.Telemetry = bus
+	c1.Checkpoint = j1
+	_, err = Run(c1, jobs)
+	cancel()
+	if cerr := j1.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want cancellation", err)
+	}
+
+	// Second run: resume. Restored jobs must not re-execute, and the
+	// merged output must equal the uninterrupted baseline at a different
+	// worker count.
+	for _, workers := range []int{1, 4} {
+		j2, err := OpenJournal(dir, cfg, jobs, true, decodeInt64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j2.RestoredCount() < 3 {
+			t.Fatalf("resume restored %d jobs, want >= 3", j2.RestoredCount())
+		}
+		c2 := cfg
+		c2.Workers = workers
+		c2.Checkpoint = j2
+		res, err := Run(c2, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cerr := j2.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		for i := range baseline {
+			if res[i] != baseline[i] {
+				t.Fatalf("workers=%d: resumed result %d = %v, baseline %v", workers, i, res[i], baseline[i])
+			}
+		}
+	}
+}
+
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Name: "trunc", Seed: 5, Workers: 1}
+	jobs := seedJobs(4)
+	j, err := OpenJournal(dir, cfg, jobs, false, decodeInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Checkpoint = j
+	if _, err := Run(c, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill mid-append: chop the final record in half.
+	path := filepath.Join(j.Dir(), "journal.ndjson")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, cfg, jobs, true, decodeInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.RestoredCount() != 3 || j2.Skipped() != 1 {
+		t.Fatalf("restored %d, skipped %d; want 3 restored, 1 skipped", j2.RestoredCount(), j2.Skipped())
+	}
+	c2 := cfg
+	c2.Checkpoint = j2
+	res, err := Run(c2, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if res[i].(int64) != DeriveSeed(5, i) {
+			t.Fatalf("post-truncation result %d = %v", i, res[i])
+		}
+	}
+}
+
+func TestJournalRejectsForeignRecords(t *testing.T) {
+	dir := t.TempDir()
+	jobs := seedJobs(3)
+	cfgA := Config{Name: "exp", Seed: 1, Workers: 1}
+	j, err := OpenJournal(dir, cfgA, jobs, false, decodeInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfgA
+	c.Checkpoint = j
+	if _, err := Run(c, jobs); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// A different master seed is a different sweep: it must land in its
+	// own directory and restore nothing.
+	cfgB := Config{Name: "exp", Seed: 2, Workers: 1}
+	j2, err := OpenJournal(dir, cfgB, jobs, true, decodeInt64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Dir() == j.Dir() {
+		t.Fatal("different sweeps share a journal directory")
+	}
+	if j2.RestoredCount() != 0 {
+		t.Fatalf("foreign journal restored %d jobs", j2.RestoredCount())
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if _, ok := j.Restored(0); ok {
+		t.Fatal("nil journal restored a result")
+	}
+	if j.RestoredCount() != 0 || j.Skipped() != 0 || j.Dir() != "" || j.Key() != "" {
+		t.Fatal("nil journal accessors not zero")
+	}
+	if err := j.Append(0, "x", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// This file is the sweep engine's failure taxonomy and retry policy.
+//
+// A failed job is one of two very different things. A *deterministic*
+// failure is a property of the simulation itself — the job returned an
+// error computed from its seed, and re-running it reproduces the same
+// error byte for byte (that reproducibility is the whole point of the
+// chaos rig). Retrying it burns wall time to learn nothing. An
+// *environmental* failure belongs to the harness or the machine: a
+// wall-clock deadline fired, a worker panicked under memory pressure,
+// a fault injected into the harness for chaos-testing the harness. Those
+// are worth retrying, with capped exponential backoff so a struggling
+// machine is not hammered — the lineage here is Jain's analysis of
+// diverging retransmission-timeout policies: naive linear retry under
+// sustained overload never converges, while exponential backoff with a
+// cap does.
+//
+// The classifier is structural, not string-matching: environmental
+// failures are wrapped in types implementing `Transient() bool`, and
+// Transient walks the Unwrap chain looking for one. An error a job
+// returns normally never carries the marker, so it is deterministic by
+// construction.
+
+// RetryPolicy governs re-execution of transiently failed jobs. The
+// zero value disables retry (every job gets exactly one attempt).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per job, including
+	// the first; values <= 1 disable retry.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// subsequent retry. Zero selects the 100ms default.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Zero selects the 5s
+	// default.
+	MaxBackoff time.Duration
+	// Sleep, when non-nil, replaces the engine's context-aware sleep
+	// between attempts — a test hook for observing (and skipping) the
+	// backoff delays.
+	Sleep func(time.Duration)
+}
+
+// Default backoff parameters, applied when the policy enables retry
+// but leaves the knobs zero.
+const (
+	DefaultBaseBackoff = 100 * time.Millisecond
+	DefaultMaxBackoff  = 5 * time.Second
+)
+
+// withDefaults resolves the zero knobs.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	return p
+}
+
+// Backoff returns the capped exponential delay scheduled after the
+// n-th failed attempt (1-based): BaseBackoff << (n-1), clamped to
+// MaxBackoff. The sequence is deterministic — no jitter — because sweep
+// workers retry independent jobs, not a shared resource, so the
+// thundering-herd argument for jitter does not apply and determinism
+// keeps the harness debuggable.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}
+
+// sleep waits out a backoff delay, returning early when ctx is
+// canceled. The Sleep hook, when set, replaces the wait entirely.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// transienter is the structural marker separating environmental
+// failures (retryable) from deterministic simulation errors (never
+// retried).
+type transienter interface{ Transient() bool }
+
+// Transient reports whether err is an environmental failure worth
+// retrying: a harness deadline (TimeoutError), a recovered panic
+// (PanicError), an injected harness fault (FaultError), or anything
+// else in the Unwrap chain implementing `Transient() bool`. Errors a
+// job returns normally are deterministic simulation outcomes and are
+// never transient.
+func Transient(err error) bool {
+	for e := err; e != nil; e = errors.Unwrap(e) {
+		if t, ok := e.(transienter); ok {
+			return t.Transient()
+		}
+	}
+	return false
+}
+
+// PanicError is a panic recovered from a job, carrying the panic value
+// and a stack snippet for repro bundles. A nil panic — panic(nil) — is
+// represented by a *runtime.PanicNilError value, never by a bare nil,
+// so the message stays diagnosable.
+type PanicError struct {
+	// Value is what the job passed to panic.
+	Value any
+	// Stack is a truncated goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error includes the panic value and the stack snippet.
+func (e *PanicError) Error() string {
+	if len(e.Stack) == 0 {
+		return fmt.Sprintf("job panicked: %v", e.Value)
+	}
+	return fmt.Sprintf("job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Transient marks panics as environmental: a deterministic panic will
+// exhaust its attempts and surface anyway, while a pressure-induced one
+// (OOM-adjacent allocation failure, runtime wobble) gets a second
+// chance.
+func (e *PanicError) Transient() bool { return true }
+
+// TimeoutError reports a job attempt that exceeded the sweep's
+// per-job wall-clock deadline (Config.JobTimeout).
+type TimeoutError struct {
+	// Job names the job; Index is its position in the job list.
+	Job   string
+	Index int
+	// After is the deadline that fired.
+	After time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	// The sweep's error wrapper already names the job and index.
+	return fmt.Sprintf("exceeded the %v wall-clock deadline", e.After)
+}
+
+// Transient marks deadline overruns as environmental: the simulation
+// under the job is bounded in *simulated* time, so a wall-clock overrun
+// means the machine (or a harness bug), not the sim, wedged.
+func (e *TimeoutError) Transient() bool { return true }
+
+// FaultError wraps an error produced by Config.FaultInjector — a
+// deliberately injected environmental failure used to chaos-test the
+// retry path itself.
+type FaultError struct{ Err error }
+
+// Error implements error.
+func (e *FaultError) Error() string { return "injected harness fault: " + e.Err.Error() }
+
+// Unwrap exposes the injected cause.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// Transient marks injected faults as environmental by definition.
+func (e *FaultError) Transient() bool { return true }
+
+// NewFaultInjector returns a deterministic fault injector for
+// Config.FaultInjector: each (index, attempt) pair fails with
+// probability rate, decided by a splitmix64 hash of (seed, index,
+// attempt) so the failure pattern is stable across runs and worker
+// counts. Use it to chaos-test the engine's own retry path.
+func NewFaultInjector(seed int64, rate float64) func(index, attempt int) error {
+	return func(index, attempt int) error {
+		z := uint64(seed)
+		z += (uint64(index) + 1) * 0x9E3779B97F4A7C15
+		z += (uint64(attempt) + 1) * 0xD1B54A32D192ED03
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		if float64(z>>11)/float64(1<<53) < rate {
+			return fmt.Errorf("seeded fault (job %d, attempt %d)", index, attempt)
+		}
+		return nil
+	}
+}
+
+// stackSnippet captures the current goroutine stack, truncated at the
+// first line boundary past limit bytes — enough frames to locate a
+// panic without flooding a repro bundle.
+func stackSnippet(limit int) []byte {
+	s := debug.Stack()
+	if len(s) <= limit {
+		return s
+	}
+	if i := bytes.IndexByte(s[limit:], '\n'); i >= 0 {
+		s = s[:limit+i]
+	} else {
+		s = s[:limit]
+	}
+	return append(s, []byte("\n... (stack truncated)")...)
+}
+
+// runJob executes one job attempt, converting a panic into a
+// *PanicError (stack snippet included) so a broken job cannot deadlock
+// the pool. panic(nil) is normalized to *runtime.PanicNilError rather
+// than surfacing as a misleading "<nil>".
+func runJob(j Job, seed int64) (res any, err error) {
+	returned := false
+	defer func() {
+		if returned {
+			return
+		}
+		r := recover()
+		if r == nil {
+			// Only reachable under GODEBUG=panicnil=1, where recover
+			// hands panic(nil) back as a literal nil.
+			r = new(runtime.PanicNilError)
+		}
+		res, err = nil, &PanicError{Value: r, Stack: stackSnippet(2048)}
+	}()
+	res, err = j.Run(seed)
+	returned = true
+	return res, err
+}

@@ -11,7 +11,7 @@
 // change what any single job computes. The engine's one obligation is
 // to keep the *aggregate* deterministic too, which it does by merging
 // results in job-index order regardless of completion order and by
-// reporting the lowest-indexed error when several jobs fail.
+// reporting failures lowest-index-first.
 //
 // Determinism contract:
 //
@@ -25,15 +25,28 @@
 //     field, or DeriveSeed(cfg.Seed, index) when the field is zero —
 //     never anything drawn during execution.
 //
-// Progress events (telemetry.KSweepStart/KSweepJob/KSweepDone) and the
-// engine's performance telemetry (KSweepJobTime per job, KSweepWorker
-// per worker, wall seconds on KSweepDone) are published on the
+// Around that contract sits a fault-tolerance layer, all of it opt-in
+// via Config and none of it able to change what a successful job
+// computes: Context cancels dispatch and drains in-flight work,
+// JobTimeout bounds each attempt's wall clock, Retry re-runs
+// transiently failed attempts with capped exponential backoff (see
+// retry.go for the transient/deterministic error taxonomy), StallAfter
+// arms a watchdog that reports hung jobs, and Checkpoint journals
+// completed results so an interrupted sweep resumes instead of
+// restarting (see checkpoint.go).
+//
+// Progress events (telemetry.KSweepStart/KSweepJob/KSweepDone), the
+// resilience kinds (KSweepStall, KSweepRetry), and the engine's
+// performance telemetry (KSweepJobTime per job, KSweepWorker per
+// worker, wall seconds on KSweepDone) are published on the
 // coordinating goroutine only, in completion order; they exist for
 // interactive feedback and engine profiling and are the one output of a
 // sweep that is *not* covered by the determinism contract.
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -56,20 +69,53 @@ type Job struct {
 	Run func(seed int64) (any, error)
 }
 
-// Config parameterizes one Run call.
+// Config parameterizes one Run call. The zero value of every
+// resilience field means "off": no cancellation, no deadline, no
+// retry, no watchdog, no checkpoint — the engine then behaves exactly
+// like a plain worker pool.
 type Config struct {
 	// Name labels the sweep in progress events and error messages.
 	Name string
 	// Seed is the sweep master seed, used to derive per-job seeds for
 	// jobs that do not pin their own.
 	Seed int64
-	// Workers bounds the worker pool; <= 0 means GOMAXPROCS. One worker
-	// executes the jobs sequentially on the calling goroutine.
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
 	Workers int
 	// Telemetry, when non-nil, receives sweep progress events. They are
 	// published from the coordinating goroutine only, so the bus must
 	// not be shared with a concurrently running simulation.
 	Telemetry *telemetry.Bus
+	// Context, when non-nil, cancels the sweep: after cancellation no
+	// new jobs are dispatched, in-flight jobs drain to completion, and
+	// Run returns the partial results together with an error wrapping
+	// context.Cause. A nil Context never cancels.
+	Context context.Context
+	// JobTimeout, when positive, bounds each job attempt's wall-clock
+	// time. An attempt that overruns fails with a *TimeoutError
+	// (transient, so it retries under a Retry policy); the attempt's
+	// goroutine is abandoned, not killed — see attemptJob.
+	JobTimeout time.Duration
+	// StallAfter, when positive, arms a wall-clock watchdog: any job
+	// in flight longer than this is reported once via a KSweepStall
+	// event (surfaced on /progress and by rrtrace summary) without
+	// being interrupted. It is the harness-level analogue of the
+	// sim-time invariant.StartWatchdog.
+	StallAfter time.Duration
+	// Retry re-executes transiently failed jobs (panics, timeouts,
+	// injected faults) with capped exponential backoff. Deterministic
+	// simulation errors are never retried. The zero value disables
+	// retry.
+	Retry RetryPolicy
+	// FaultInjector, when non-nil, is consulted before every attempt
+	// and can fail it with an injected environmental fault — the chaos
+	// hook for testing the engine's own retry path. Use
+	// NewFaultInjector for a deterministic seeded injector.
+	FaultInjector func(index, attempt int) error
+	// Checkpoint, when non-nil, journals each completed job's result
+	// and pre-fills results restored by OpenJournal, so an interrupted
+	// sweep resumes where it stopped. The engine touches the journal
+	// only from the coordinating goroutine.
+	Checkpoint *Journal
 }
 
 // DeriveSeed returns the deterministic seed for the job at index under
@@ -88,14 +134,42 @@ func DeriveSeed(seed int64, index int) int64 {
 	return int64(z)
 }
 
+// sweepMsg is a notification from a worker or the watchdog to the
+// coordinating goroutine, which owns all telemetry publishing and the
+// checkpoint journal.
+type sweepMsg struct {
+	kind    msgKind
+	index   int
+	name    string
+	worker  int
+	attempt int           // msgRetry: the attempt that just failed
+	backoff time.Duration // msgRetry: delay before the next attempt
+	running float64       // msgStall: seconds in flight
+}
+
+type msgKind int
+
+const (
+	msgDone msgKind = iota
+	msgRetry
+	msgStall
+)
+
 // Run executes the jobs across the configured worker pool and returns
-// their results in job-index order. All jobs run even if some fail; the
-// returned error is the one from the lowest-indexed failing job, so the
-// error surface is as deterministic as the results.
+// their results in job-index order. All dispatched jobs run to
+// completion even if some fail; the returned error joins (via
+// errors.Join, so errors.Is/As see through it) the cancellation cause
+// first, then per-job failures lowest-index-first. The results slice
+// is always returned — on error it holds the partial results, with nil
+// at failed or never-dispatched indices.
 func Run(cfg Config, jobs []Job) ([]any, error) {
 	n := len(jobs)
 	if n == 0 {
 		return nil, nil
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	seeds := make([]int64, n)
 	for i, j := range jobs {
@@ -104,12 +178,33 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 			seeds[i] = DeriveSeed(cfg.Seed, i)
 		}
 	}
+
+	results := make([]any, n)
+	errs := make([]error, n)
+	finished := make([]bool, n) // completed this run or restored from checkpoint
+
+	// Checkpoint pre-fill: jobs a previous run already completed are
+	// restored, not re-executed. Because results merge by index, the
+	// final output cannot tell which run computed which job.
+	pending := make([]int, 0, n)
+	for i := range jobs {
+		if res, ok := cfg.Checkpoint.Restored(i); ok {
+			results[i] = res
+			finished[i] = true
+			continue
+		}
+		pending = append(pending, i)
+	}
+
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 
 	cfg.Telemetry.Publish(telemetry.Event{
@@ -117,9 +212,6 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 		Src: cfg.Name, Flow: telemetry.NoFlow,
 		A: float64(n), B: float64(workers),
 	})
-
-	results := make([]any, n)
-	errs := make([]error, n)
 
 	// Wall-clock performance telemetry: per-job latency and per-worker
 	// busy time. Like the progress kinds, these are measurements of the
@@ -141,62 +233,152 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 		sweepStart = time.Now()
 	}
 
-	if workers == 1 {
-		for i := range jobs {
-			if timed {
-				start := time.Now()
-				results[i], errs[i] = runJob(jobs[i], seeds[i])
-				jobWall[i] = time.Since(start).Seconds()
-			} else {
-				results[i], errs[i] = runJob(jobs[i], seeds[i])
-			}
-			publishJob(cfg, jobs[i].Name, i, i+1, n)
-			if timed {
-				publishJobTime(cfg, jobs[i].Name, i, jobWall[i], 0)
-				workerBusy[0] += jobWall[i]
-				workerJobs[0]++
-			}
-		}
-	} else {
+	completed := n - len(pending)
+	var journalErr error
+
+	if len(pending) > 0 {
+		msgc := make(chan sweepMsg)
 		idx := make(chan int)
-		done := make(chan int)
+
+		var track *inflightTracker
+		if cfg.StallAfter > 0 {
+			track = &inflightTracker{slots: make([]inflightSlot, workers)}
+		}
+
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				notify := func(m sweepMsg) { msgc <- m }
 				for i := range idx {
+					track.begin(w, i, jobs[i].Name)
+					var start time.Time
 					if timed {
-						start := time.Now()
-						results[i], errs[i] = runJob(jobs[i], seeds[i])
+						start = time.Now()
+					}
+					results[i], errs[i] = executeJob(ctx, cfg, jobs[i], i, seeds[i], notify)
+					if timed {
 						jobWall[i] = time.Since(start).Seconds()
 						jobWorker[i] = w
-					} else {
-						results[i], errs[i] = runJob(jobs[i], seeds[i])
 					}
-					done <- i
+					track.end(w)
+					msgc <- sweepMsg{kind: msgDone, index: i}
 				}
 			}(w)
 		}
+
+		// Dispatcher: feeds pending indices until done or canceled.
+		// Cancellation stops dispatch; jobs already handed to workers
+		// drain normally. The explicit ctx.Err check matters: when a
+		// worker is ready AND the context is already canceled, select
+		// would pick between the two arms at random, occasionally
+		// dispatching a job under a pre-canceled context.
 		go func() {
-			for i := range jobs {
-				idx <- i
+			defer close(idx)
+			for _, i := range pending {
+				if ctx.Err() != nil {
+					return
+				}
+				select {
+				case idx <- i:
+				case <-ctx.Done():
+					return
+				}
 			}
-			close(idx)
 		}()
-		// The coordinator drains exactly one completion per job; the
-		// channel receives order writes of results[i]/errs[i] before the
-		// reads below.
-		for completed := 1; completed <= n; completed++ {
-			i := <-done
-			publishJob(cfg, jobs[i].Name, i, completed, n)
-			if timed {
-				publishJobTime(cfg, jobs[i].Name, i, jobWall[i], jobWorker[i])
-				workerBusy[jobWorker[i]] += jobWall[i]
-				workerJobs[jobWorker[i]]++
+
+		// Every worker send on msgc is unbuffered and precedes the
+		// worker's exit, so once wg.Wait returns all worker messages
+		// have been received: closing workersDone cannot strand one.
+		workersDone := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(workersDone)
+		}()
+
+		// Hung-job watchdog: scans in-flight slots on a wall-clock
+		// ticker and reports each stalled job once, routed through the
+		// coordinator so telemetry publishing stays single-goroutine.
+		// The select against stopWatch means a pending stall report
+		// cannot deadlock shutdown.
+		var stopWatch, watchDone chan struct{}
+		if track != nil {
+			stopWatch = make(chan struct{})
+			watchDone = make(chan struct{})
+			interval := cfg.StallAfter / 4
+			if interval < 10*time.Millisecond {
+				interval = 10 * time.Millisecond
+			}
+			if interval > time.Second {
+				interval = time.Second
+			}
+			go func() {
+				defer close(watchDone)
+				t := time.NewTicker(interval)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopWatch:
+						return
+					case now := <-t.C:
+						for _, m := range track.stalled(now, cfg.StallAfter) {
+							select {
+							case msgc <- m:
+							case <-stopWatch:
+								return
+							}
+						}
+					}
+				}
+			}()
+		}
+
+		// Coordinator: the only goroutine that publishes telemetry or
+		// appends to the journal. Each done-receive happens after the
+		// worker's writes of results[i]/errs[i], so the reads below are
+		// ordered.
+	loop:
+		for {
+			select {
+			case m := <-msgc:
+				switch m.kind {
+				case msgDone:
+					completed++
+					i := m.index
+					finished[i] = true
+					publishJob(cfg, jobs[i].Name, i, completed, n)
+					if timed {
+						publishJobTime(cfg, jobs[i].Name, i, jobWall[i], jobWorker[i])
+						workerBusy[jobWorker[i]] += jobWall[i]
+						workerJobs[jobWorker[i]]++
+					}
+					if errs[i] == nil {
+						if jerr := cfg.Checkpoint.Append(i, jobs[i].Name, seeds[i], results[i]); jerr != nil && journalErr == nil {
+							journalErr = jerr
+						}
+					}
+				case msgRetry:
+					cfg.Telemetry.Publish(telemetry.Event{
+						Comp: telemetry.CompSweep, Kind: telemetry.KSweepRetry,
+						Src: m.name, Flow: telemetry.NoFlow, Seq: int64(m.index),
+						A: float64(m.attempt), B: m.backoff.Seconds(),
+					})
+				case msgStall:
+					cfg.Telemetry.Publish(telemetry.Event{
+						Comp: telemetry.CompSweep, Kind: telemetry.KSweepStall,
+						Src: m.name, Flow: telemetry.NoFlow, Seq: int64(m.index),
+						A: m.running, B: float64(m.worker),
+					})
+				}
+			case <-workersDone:
+				break loop
 			}
 		}
-		wg.Wait()
+		if stopWatch != nil {
+			close(stopWatch)
+			<-watchDone
+		}
 	}
 
 	var sweepWall float64
@@ -212,15 +394,151 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 	}
 	cfg.Telemetry.Publish(telemetry.Event{
 		Comp: telemetry.CompSweep, Kind: telemetry.KSweepDone,
-		Src: cfg.Name, Flow: telemetry.NoFlow, A: float64(n), B: sweepWall,
+		Src: cfg.Name, Flow: telemetry.NoFlow, A: float64(completed), B: sweepWall,
 	})
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sweep %s: job %d (%s): %w", cfg.Name, i, jobs[i].Name, err)
+	// Error assembly: cancellation first (only when it actually cut the
+	// sweep short), then per-job failures lowest-index-first, then any
+	// journal write failure. errors.Join keeps every cause reachable by
+	// errors.Is/As.
+	var fail []error
+	if ctx.Err() != nil {
+		skipped := 0
+		for i := range finished {
+			if !finished[i] {
+				skipped++
+			}
+		}
+		if skipped > 0 {
+			fail = append(fail, fmt.Errorf("sweep %s: canceled with %d of %d jobs unfinished: %w",
+				cfg.Name, skipped, n, context.Cause(ctx)))
 		}
 	}
-	return results, nil
+	for i, err := range errs {
+		if err != nil {
+			fail = append(fail, fmt.Errorf("sweep %s: job %d (%s): %w", cfg.Name, i, jobs[i].Name, err))
+		}
+	}
+	if journalErr != nil {
+		fail = append(fail, journalErr)
+	}
+	return results, errors.Join(fail...)
+}
+
+// executeJob runs one job through the retry policy: transient failures
+// (panics, deadline overruns, injected faults) back off and retry up to
+// Retry.MaxAttempts; deterministic simulation errors return
+// immediately. Cancellation stops further retries but never interrupts
+// an attempt in progress.
+func executeJob(ctx context.Context, cfg Config, j Job, index int, seed int64, notify func(sweepMsg)) (any, error) {
+	max := cfg.Retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for attempt := 1; ; attempt++ {
+		res, err := attemptJob(cfg, j, index, seed, attempt)
+		if err == nil {
+			return res, nil
+		}
+		if attempt >= max || !Transient(err) || ctx.Err() != nil {
+			return nil, err
+		}
+		backoff := cfg.Retry.Backoff(attempt)
+		notify(sweepMsg{kind: msgRetry, index: index, name: j.Name, attempt: attempt, backoff: backoff})
+		cfg.Retry.sleep(ctx, backoff)
+	}
+}
+
+// attemptJob makes one attempt: the fault injector gets first refusal,
+// then the job runs — under a wall-clock deadline when JobTimeout is
+// set. A simulation run cannot be preempted (the sim API is
+// synchronous), so a timed-out attempt's goroutine is abandoned: it
+// keeps the CPU until its sim finishes, then delivers into a buffered
+// channel nobody reads and becomes garbage. That leak is deliberate —
+// bounded by MaxAttempts per job — and the price of a deadline over
+// uninterruptible work.
+func attemptJob(cfg Config, j Job, index int, seed int64, attempt int) (any, error) {
+	if cfg.FaultInjector != nil {
+		if ferr := cfg.FaultInjector(index, attempt); ferr != nil {
+			return nil, &FaultError{Err: ferr}
+		}
+	}
+	if cfg.JobTimeout <= 0 {
+		return runJob(j, seed)
+	}
+	type outcome struct {
+		res any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := runJob(j, seed)
+		ch <- outcome{res, err}
+	}()
+	t := time.NewTimer(cfg.JobTimeout)
+	defer t.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-t.C:
+		return nil, &TimeoutError{Job: j.Name, Index: index, After: cfg.JobTimeout}
+	}
+}
+
+// inflightTracker records which job each worker is running and since
+// when, for the stall watchdog. Methods are nil-safe so the hot path
+// can call them unconditionally.
+type inflightTracker struct {
+	mu    sync.Mutex
+	slots []inflightSlot
+}
+
+type inflightSlot struct {
+	active   bool
+	index    int
+	name     string
+	start    time.Time
+	reported bool
+}
+
+func (t *inflightTracker) begin(w, index int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.slots[w] = inflightSlot{active: true, index: index, name: name, start: time.Now()}
+	t.mu.Unlock()
+}
+
+func (t *inflightTracker) end(w int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.slots[w].active = false
+	t.mu.Unlock()
+}
+
+// stalled returns one message per newly stalled job: in flight at
+// least `after` and not yet reported for this occupancy.
+func (t *inflightTracker) stalled(now time.Time, after time.Duration) []sweepMsg {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []sweepMsg
+	for w := range t.slots {
+		s := &t.slots[w]
+		if !s.active || s.reported {
+			continue
+		}
+		if running := now.Sub(s.start); running >= after {
+			s.reported = true
+			out = append(out, sweepMsg{
+				kind: msgStall, index: s.index, name: s.name,
+				worker: w, running: running.Seconds(),
+			})
+		}
+	}
+	return out
 }
 
 func publishJob(cfg Config, name string, index, completed, total int) {
@@ -237,17 +555,6 @@ func publishJobTime(cfg Config, name string, index int, wall float64, worker int
 		Src: name, Flow: telemetry.NoFlow, Seq: int64(index),
 		A: wall, B: float64(worker),
 	})
-}
-
-// runJob executes one job, converting a panic into an error so a broken
-// job cannot deadlock the pool.
-func runJob(j Job, seed int64) (res any, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("job panicked: %v", r)
-		}
-	}()
-	return j.Run(seed)
 }
 
 // Collect converts a sweep's []any results into their concrete type,

@@ -106,6 +106,11 @@ type SweepStats struct {
 	JobTimeMeanS float64
 	JobTimeMaxS  float64
 	PerWorker    []WorkerStats // sorted by worker index
+	// Resilience counters: transient-failure retries and hung-job
+	// stall detections published by the sweep engine's harness
+	// telemetry (sweep-retry / sweep-stall).
+	Retries int
+	Stalls  int
 }
 
 // SchedStats aggregates scheduler self-profiling ("sched") events.
@@ -231,6 +236,12 @@ func Summarize(records []Record) LogSummary {
 			if w > s.JobTimeMaxS {
 				s.JobTimeMaxS = w
 			}
+			continue
+		case KSweepRetry.String():
+			sweepOf("").Retries++
+			continue
+		case KSweepStall.String():
+			sweepOf("").Stalls++
 			continue
 		case KSweepWorker.String():
 			s := sweepOf("")
@@ -419,6 +430,10 @@ func (s LogSummary) Render() string {
 		if sw.JobTimeN > 0 {
 			fmt.Fprintf(&b, "  job wall: n=%d mean=%.4fs max=%.4fs\n",
 				sw.JobTimeN, sw.JobTimeMeanS, sw.JobTimeMaxS)
+		}
+		if sw.Retries > 0 || sw.Stalls > 0 {
+			fmt.Fprintf(&b, "  resilience: %d retries, %d stall events\n",
+				sw.Retries, sw.Stalls)
 		}
 		for _, w := range sw.PerWorker {
 			fmt.Fprintf(&b, "  worker %d: %d jobs, %.4fs busy\n", w.Worker, w.Jobs, w.BusyS)

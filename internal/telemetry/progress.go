@@ -27,6 +27,12 @@ func (p *ProgressSink) Emit(ev Event) {
 		p.started = true
 	case KSweepJob:
 		fmt.Fprintf(p.w, "\r%d/%d %-40s", int(ev.A), int(ev.B), ev.Src)
+	case KSweepStall:
+		fmt.Fprintf(p.w, "\rstall: job %d (%s) running %.1fs on worker %d%-10s\n",
+			ev.Seq, ev.Src, ev.A, int(ev.B), "")
+	case KSweepRetry:
+		fmt.Fprintf(p.w, "\rretry: job %d (%s) attempt %d failed, backing off %.2gs%-10s\n",
+			ev.Seq, ev.Src, int(ev.A), ev.B, "")
 	case KSweepDone:
 		if p.started {
 			fmt.Fprintf(p.w, "\r%s: %d jobs done%-30s\n", label(ev.Src), int(ev.A), "")

@@ -18,6 +18,20 @@ type ProgressState struct {
 	start time.Time // wall clock at KSweepStart, for live elapsed time
 }
 
+// StalledJob is one in-flight job currently past the sweep engine's
+// stall threshold — the /progress view of a KSweepStall event. A job
+// leaves the list when it completes (KSweepJob for its index).
+type StalledJob struct {
+	// Job names the stuck job; Index is its position in the job list.
+	Job   string `json:"job"`
+	Index int    `json:"index"`
+	// Worker is the worker the attempt is wedged on.
+	Worker int `json:"worker"`
+	// RunningS is how long the attempt had been running at the last
+	// stall event.
+	RunningS float64 `json:"running_s"`
+}
+
 // WorkerProgress is one worker's accumulated share of a sweep.
 type WorkerProgress struct {
 	// Jobs counts jobs the worker has finished.
@@ -49,6 +63,12 @@ type ProgressSnapshot struct {
 	JobWallMaxS  float64 `json:"job_wall_max_s"`
 	// PerWorker is indexed by worker id.
 	PerWorker []WorkerProgress `json:"per_worker,omitempty"`
+	// Retries counts job attempts that failed transiently and were
+	// re-executed (KSweepRetry events).
+	Retries int `json:"retries,omitempty"`
+	// Stalled lists in-flight jobs currently past the stall threshold,
+	// in stall-event order.
+	Stalled []StalledJob `json:"stalled,omitempty"`
 	// SweepsDone counts completed sweeps over the process lifetime
 	// (rrsim all runs several back to back).
 	SweepsDone int `json:"sweeps_done"`
@@ -85,6 +105,7 @@ func (p *ProgressState) Emit(ev Event) {
 		p.snap.Completed = int(ev.A)
 		p.snap.LastJob = ev.Src
 		p.snap.LastIndex = int(ev.Seq)
+		p.dropStalled(int(ev.Seq))
 	case KSweepJobTime:
 		p.snap.jobWallSum += ev.A
 		p.snap.jobWallN++
@@ -100,15 +121,45 @@ func (p *ProgressState) Emit(ev Event) {
 		if w, ok := atoiSafe(ev.Src); ok && w >= 0 && w < len(p.snap.PerWorker) {
 			p.snap.PerWorker[w] = WorkerProgress{Jobs: int(ev.B), BusyS: ev.A}
 		}
+	case KSweepStall:
+		// Upsert by index: repeated stall events for the same wedged
+		// attempt refresh the running time instead of duplicating.
+		idx := int(ev.Seq)
+		for i := range p.snap.Stalled {
+			if p.snap.Stalled[i].Index == idx {
+				p.snap.Stalled[i].RunningS = ev.A
+				p.snap.Stalled[i].Worker = int(ev.B)
+				return
+			}
+		}
+		p.snap.Stalled = append(p.snap.Stalled, StalledJob{
+			Job: ev.Src, Index: idx, Worker: int(ev.B), RunningS: ev.A,
+		})
+	case KSweepRetry:
+		p.snap.Retries++
+		// The wedged attempt was abandoned; the job is live again.
+		p.dropStalled(int(ev.Seq))
 	case KSweepDone:
 		p.snap.Active = false
 		p.snap.Completed = int(ev.A)
+		p.snap.Stalled = nil
 		if ev.B > 0 {
 			p.snap.WallS = ev.B
 		} else if !p.start.IsZero() {
 			p.snap.WallS = time.Since(p.start).Seconds()
 		}
 		p.snap.SweepsDone++
+	}
+}
+
+// dropStalled removes the stalled entry for a job index, if present.
+// Callers hold p.mu.
+func (p *ProgressState) dropStalled(index int) {
+	for i := range p.snap.Stalled {
+		if p.snap.Stalled[i].Index == index {
+			p.snap.Stalled = append(p.snap.Stalled[:i], p.snap.Stalled[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -122,6 +173,9 @@ func (p *ProgressState) Snapshot() ProgressSnapshot {
 	defer p.mu.Unlock()
 	s := p.snap
 	s.PerWorker = append([]WorkerProgress(nil), p.snap.PerWorker...)
+	if len(p.snap.Stalled) > 0 {
+		s.Stalled = append([]StalledJob(nil), p.snap.Stalled...)
+	}
 	if s.Active && !p.start.IsZero() {
 		s.WallS = time.Since(p.start).Seconds()
 	}

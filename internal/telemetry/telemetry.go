@@ -144,6 +144,13 @@ const (
 	KSweepJobTime // one job's wall time (Src=job name, Seq=index, A=wall seconds, B=worker)
 	KSweepWorker  // one worker's totals at sweep end (Src=worker index, A=busy seconds, B=jobs run)
 
+	// Sweep-engine resilience telemetry: the harness watching itself.
+	// Like the other sweep kinds they fire on the coordinating goroutine
+	// with wall-clock measurements, exempt from the determinism
+	// contract.
+	KSweepStall // an in-flight job exceeded the stall threshold (Src=job name, Seq=index, A=running seconds, B=worker)
+	KSweepRetry // a job attempt failed transiently and will be retried (Src=job name, Seq=index, A=attempt, B=backoff seconds)
+
 	kindSentinel // keep last
 )
 
@@ -212,6 +219,10 @@ func (k Kind) String() string {
 		return "sweep-job-time"
 	case KSweepWorker:
 		return "sweep-worker"
+	case KSweepStall:
+		return "sweep-stall"
+	case KSweepRetry:
+		return "sweep-retry"
 	default:
 		return "?"
 	}
@@ -269,6 +280,10 @@ func (k Kind) attrNames() (a, b string) {
 		return "wall_s", "worker"
 	case KSweepWorker:
 		return "busy_s", "jobs"
+	case KSweepStall:
+		return "running_s", "worker"
+	case KSweepRetry:
+		return "attempt", "backoff_s"
 	default:
 		return "", ""
 	}

@@ -497,6 +497,17 @@ type (
 	ExperimentRegistration = experiments.Registration
 	// ProgressSink renders sweep progress events as a status line.
 	ProgressSink = telemetry.ProgressSink
+	// SweepRetryPolicy governs re-execution of transiently failed sweep
+	// jobs with capped exponential backoff; the zero value disables
+	// retry.
+	SweepRetryPolicy = sweep.RetryPolicy
+	// SweepJournal is a sweep checkpoint: an append-only NDJSON log of
+	// completed job results that lets an interrupted sweep resume.
+	SweepJournal = sweep.Journal
+	// ExperimentResultCodec is implemented by experiments whose job
+	// results survive a JSON round-trip — the prerequisite for
+	// checkpoint/resume.
+	ExperimentResultCodec = experiments.ResultCodec
 )
 
 // RunSweep fans the jobs out across a worker pool and returns their
@@ -507,6 +518,27 @@ func RunSweep(cfg SweepConfig, jobs []SweepJob) ([]any, error) { return sweep.Ru
 // DeriveSweepSeed returns the deterministic per-job seed the sweep
 // engine uses for the job at index under a master seed.
 func DeriveSweepSeed(seed int64, index int) int64 { return sweep.DeriveSeed(seed, index) }
+
+// OpenSweepJournal opens (resume) or creates the checkpoint journal for
+// the sweep identified by (cfg.Name, cfg.Seed, jobs) under dir; decode
+// reconstructs one job's result from its stored JSON. Hand the journal
+// to RunSweep via SweepConfig.Checkpoint and Close it afterwards.
+func OpenSweepJournal(dir string, cfg SweepConfig, jobs []SweepJob, resume bool,
+	decode func([]byte) (any, error)) (*SweepJournal, error) {
+	return sweep.OpenJournal(dir, cfg, jobs, resume, decode)
+}
+
+// SweepTransient reports whether a sweep job failure is environmental
+// (timeout, panic, injected fault — worth retrying) as opposed to a
+// deterministic simulation error.
+func SweepTransient(err error) bool { return sweep.Transient(err) }
+
+// NewSweepFaultInjector returns a deterministic seeded fault injector
+// for SweepConfig.FaultInjector, failing each (job, attempt) pair with
+// the given probability — the chaos hook for testing retry handling.
+func NewSweepFaultInjector(seed int64, rate float64) func(index, attempt int) error {
+	return sweep.NewFaultInjector(seed, rate)
+}
 
 // Experiments lists every registered experiment in canonical order.
 func Experiments() []ExperimentRegistration { return experiments.Experiments() }

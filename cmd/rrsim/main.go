@@ -16,6 +16,7 @@
 //	rrsim ablation [-drops n]    RR design-choice ablations
 //	rrsim chaos [-runs n]        seeded-random fault sweep under invariant checking
 //	rrsim chaos -replay f        replay a violation repro bundle
+//	rrsim stress [-cells n]      overload soak: many-flow cells under chaos and budgets
 //	rrsim run <file.json>        run a user-defined scenario (see examples/scenarios)
 //	rrsim all [-quick]           everything above except chaos
 //
@@ -34,6 +35,11 @@
 // for rrtrace summary. SIGINT/SIGTERM shut down gracefully — dispatch
 // stops, in-flight jobs drain, the journal and telemetry sinks flush —
 // and a second signal aborts immediately.
+//
+// Overload guardrails (stress, and any budget-aware run): -budget-events,
+// -budget-wall, and -budget-heap arm per-cell resource budgets; a cell
+// that trips one degrades into a reported outcome instead of failing or
+// OOMing the sweep. -cells and -flows size the stress soak.
 //
 // Observability flags shared by the experiments and scenario runs:
 // -events streams structured telemetry as NDJSON (for rrtrace),
@@ -104,6 +110,11 @@ func run(args []string) error {
 	retries := fs.Int("retries", 1, "attempts per job for transient failures (timeouts, panics), with capped exponential backoff; 1 = no retry")
 	stallAfter := fs.Duration("stall-after", 0, "report jobs in flight longer than this as stalled, on stderr and /progress (0 = off)")
 	progressEvents := fs.String("progress-events", "", "stream sweep lifecycle events (start/job/done, stalls, retries) as NDJSON to this file, for rrtrace summary")
+	cells := fs.Int("cells", 0, "independent simulation cells (stress, 0 = default)")
+	flows := fs.Int("flows", 0, "concurrent flows per cell (stress, 0 = default)")
+	budgetEvents := fs.Uint64("budget-events", 0, "per-cell processed-event budget; a cell exceeding it degrades (stress, 0 = off)")
+	budgetWall := fs.Duration("budget-wall", 0, "per-cell wall-clock budget, sampled (stress, 0 = off)")
+	budgetHeap := fs.Uint64("budget-heap", 0, "heap ceiling in bytes, sampled per cell; a cell over it degrades instead of OOMing (stress, 0 = off)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -119,14 +130,19 @@ func run(args []string) error {
 	}
 
 	opts := rrtcp.ExperimentOptions{
-		Seed:       *seed,
-		Runs:       runs,
-		Drops:      *drops,
-		Quick:      *quick,
-		DelayedAck: *delack,
-		Bytes:      *bytes,
-		Horizon:    *horizon,
-		BundleDir:  *bundles,
+		Seed:         *seed,
+		Runs:         runs,
+		Drops:        *drops,
+		Quick:        *quick,
+		DelayedAck:   *delack,
+		Bytes:        *bytes,
+		Horizon:      *horizon,
+		BundleDir:    *bundles,
+		Cells:        *cells,
+		Flows:        *flows,
+		MaxEvents:    *budgetEvents,
+		MaxWall:      *budgetWall,
+		MaxHeapBytes: *budgetHeap,
 	}
 	if *variants != "" {
 		for _, name := range strings.Split(*variants, ",") {
@@ -180,19 +196,25 @@ func run(args []string) error {
 	}
 	// Sweep lifecycle events are wall-clock and completion-ordered, so
 	// they get their own NDJSON file rather than polluting the
-	// deterministic -events stream.
+	// deterministic -events stream. The sink's write error is checked at
+	// exit — a full disk must fail the run, not vanish into a warning.
+	var closers []func() error
 	if *progressEvents != "" {
 		f, err := os.Create(*progressEvents)
 		if err != nil {
 			return fmt.Errorf("create -progress-events file: %w", err)
 		}
 		nd := rrtcp.NewNDJSONSink(f)
-		defer func() {
-			if err := nd.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "rrsim: flush -progress-events: %v\n", err)
+		closers = append(closers, func() error {
+			err := nd.Close()
+			if cerr := f.Close(); err == nil {
+				err = cerr
 			}
-			f.Close()
-		}()
+			if err != nil {
+				return fmt.Errorf("flush -progress-events: %w", err)
+			}
+			return nil
+		})
 		progressSinks = append(progressSinks, nd)
 	}
 	if *httpAddr != "" {
@@ -227,10 +249,18 @@ func run(args []string) error {
 		}
 		return runExperiment(cmd, emit, opts, runOpt, tel)
 	}
-	if *pprofDir != "" {
-		return withProfiles(*pprofDir, do)
+	runErr := func() error {
+		if *pprofDir != "" {
+			return withProfiles(*pprofDir, do)
+		}
+		return do()
+	}()
+	for _, c := range closers {
+		if cerr := c(); runErr == nil {
+			runErr = cerr
+		}
 	}
-	return do()
+	return runErr
 }
 
 // signalContext returns a context canceled by the first SIGINT or

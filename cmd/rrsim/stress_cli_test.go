@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func stressArgs(extra ...string) []string {
+	return append([]string{
+		"stress", "-cells", "2", "-flows", "6", "-horizon", "3s", "-bytes", "15000",
+	}, extra...)
+}
+
+func TestRunStressText(t *testing.T) {
+	out, err := capture(t, func() error { return run(stressArgs()) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"Stress soak", "2 cells x 6 flows", "total:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStressBudgetTripDegradesCleanly(t *testing.T) {
+	runOnce := func() string {
+		out, err := capture(t, func() error {
+			return run(stressArgs("-budget-events", "800"))
+		})
+		if err != nil {
+			t.Fatalf("a tripped budget must degrade, not fail the command: %v", err)
+		}
+		return out
+	}
+	out := runOnce()
+	if !strings.Contains(out, "degraded:events") || !strings.Contains(out, "DEGRADED cell") {
+		t.Fatalf("output missing the degradation report:\n%s", out)
+	}
+	if out != runOnce() {
+		t.Fatal("two identically seeded budget-tripped runs rendered different reports")
+	}
+}
+
+func TestRunStressJSON(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(stressArgs("-json", "-budget-events", "800"))
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var decoded struct {
+		Cells []struct {
+			Events   uint64 `json:"events"`
+			Degraded string `json:"degraded"`
+		} `json:"cells"`
+		Degraded []struct {
+			Resource string `json:"resource"`
+		} `json:"degraded"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(decoded.Cells) != 2 || len(decoded.Degraded) != 2 {
+		t.Fatalf("got %d cells / %d degraded, want 2/2", len(decoded.Cells), len(decoded.Degraded))
+	}
+	for _, c := range decoded.Cells {
+		if c.Degraded != "events" || c.Events != 800 {
+			t.Fatalf("bad cell %+v", c)
+		}
+	}
+}
+
+func TestProgressEventsWriteFailureSurfaces(t *testing.T) {
+	// /dev/full accepts the open and fails every write with ENOSPC —
+	// exactly the failure mode the exit path must surface.
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	_, err := capture(t, func() error {
+		return run([]string{"fig5", "-drops", "1", "-progress-events", "/dev/full"})
+	})
+	if err == nil {
+		t.Fatal("progress-events written to a full device, but run reported success")
+	}
+	if !strings.Contains(err.Error(), "progress-events") {
+		t.Fatalf("error %v does not identify the -progress-events stream", err)
+	}
+}

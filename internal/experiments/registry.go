@@ -55,8 +55,17 @@ type Options struct {
 	// BundleDir receives violation repro bundles (chaos).
 	BundleDir string
 	// Telemetry receives structured events from experiments that stream
-	// them (fig5).
+	// them (fig5, stress).
 	Telemetry *telemetry.Bus
+	// Cells and Flows size the stress soak: independent simulation
+	// cells, and concurrent flows per cell.
+	Cells int
+	Flows int
+	// MaxEvents / MaxWall / MaxHeapBytes are the per-cell guard budgets
+	// for the stress soak; zero disables each.
+	MaxEvents    uint64
+	MaxWall      time.Duration
+	MaxHeapBytes uint64
 }
 
 // Builder constructs an Experiment from shared options.
@@ -117,6 +126,13 @@ var registry = []Registration{
 		return NewChaosExperiment(ChaosConfig{
 			Schedules: o.Runs, Seed: o.Seed, Variants: o.Variants,
 			Bytes: o.Bytes, Horizon: o.Horizon, BundleDir: o.BundleDir,
+		}), nil
+	}},
+	{"stress", "overload soak: many-flow cells under chaos, budgets, and graceful degradation", func(o Options) (Experiment, error) {
+		return NewStressExperiment(StressConfig{
+			Cells: o.Cells, Flows: o.Flows, Seed: o.Seed, Bytes: o.Bytes,
+			Horizon: o.Horizon, Variants: o.Variants, Telemetry: o.Telemetry,
+			MaxEvents: o.MaxEvents, MaxWall: o.MaxWall, MaxHeapBytes: o.MaxHeapBytes,
 		}), nil
 	}},
 }

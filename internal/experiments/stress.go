@@ -1,0 +1,399 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"rrtcp/internal/faults"
+	"rrtcp/internal/guard"
+	"rrtcp/internal/invariant"
+	"rrtcp/internal/netem"
+	"rrtcp/internal/sim"
+	"rrtcp/internal/sweep"
+	"rrtcp/internal/telemetry"
+	"rrtcp/internal/workload"
+)
+
+// The stress soak is the scale-and-overload counterpart of the chaos
+// sweep: instead of one flow per case, every cell packs many concurrent
+// flows onto one shared bottleneck under a seeded-random fault plan,
+// with the invariant checker (liveness watchdog included), a bounded
+// telemetry sink, and a guard budget all armed. The point is not a
+// paper figure — it is to demonstrate that the harness survives its own
+// worst case: a cell that blows its budget degrades (a typed, reported
+// outcome), never OOMs or wedges the sweep, and a cell that stays
+// inside its budget produces byte-identical results run after run.
+
+// StressConfig parameterizes a stress soak.
+type StressConfig struct {
+	// Cells is the number of independent simulation cells (default 8).
+	Cells int `json:"cells"`
+	// Flows is the number of concurrent flows per cell (default 64).
+	Flows int `json:"flows"`
+	// Seed drives per-cell seeds (default 1).
+	Seed int64 `json:"seed"`
+	// Bytes is the per-flow transfer size (default 32 kB).
+	Bytes int64 `json:"bytes"`
+	// Horizon bounds each cell in simulated time (default 60 s).
+	Horizon sim.Time `json:"horizonNs"`
+	// Variants cycle across a cell's flows (default: all).
+	Variants []workload.Kind `json:"variants"`
+
+	// MaxEvents / MaxWall / MaxHeapBytes are the per-cell guard budgets;
+	// zero disables each. StormEvents is the Zeno detector and is always
+	// armed (default 1<<20 consecutive events at a frozen clock).
+	MaxEvents    uint64        `json:"maxEvents,omitempty"`
+	MaxWall      time.Duration `json:"maxWallNs,omitempty"`
+	MaxHeapBytes uint64        `json:"maxHeapBytes,omitempty"`
+	StormEvents  uint64        `json:"stormEvents,omitempty"`
+
+	// TelemetryBudget bounds each cell's event stream through a
+	// BoundedSink (SampleOneInK past the budget); zero selects 10000.
+	TelemetryBudget uint64 `json:"telemetryBudget,omitempty"`
+
+	// Telemetry, when non-nil, receives each cell's final overload and
+	// drop accounting, republished in cell order by Reduce.
+	Telemetry *telemetry.Bus `json:"-"`
+}
+
+func (c *StressConfig) fillDefaults() {
+	if c.Cells <= 0 {
+		c.Cells = 8
+	}
+	if c.Flows <= 0 {
+		c.Flows = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Bytes <= 0 {
+		c.Bytes = 32 * 1000
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 60 * time.Second
+	}
+	if len(c.Variants) == 0 {
+		c.Variants = workload.Kinds()
+	}
+	if c.StormEvents == 0 {
+		c.StormEvents = 1 << 20
+	}
+	if c.TelemetryBudget == 0 {
+		c.TelemetryBudget = 10000
+	}
+}
+
+// StressCell is one cell's outcome. All fields derive from the
+// deterministic simulation, so a cell report reproduces bit-for-bit
+// under its seed (wall/heap trips excepted — those budgets are sampled
+// from the machine).
+type StressCell struct {
+	Cell     int     `json:"cell"`
+	Flows    int     `json:"flows"`
+	Finished int     `json:"finished"`
+	Events   uint64  `json:"events"`
+	SimTimeS float64 `json:"simTimeS"`
+	// TelemetryKept / TelemetryDropped are the cell's BoundedSink
+	// accounting.
+	TelemetryKept    uint64 `json:"telemetryKept"`
+	TelemetryDropped uint64 `json:"telemetryDropped"`
+	// Violations counts structural invariant breaches; Stalls counts
+	// liveness ("stall"/"stall-no-timer") detections, reported
+	// separately because a stalled cell degrades rather than fails.
+	Violations int `json:"violations"`
+	Stalls     int `json:"stalls"`
+	// Degraded names the tripped resource ("events", "event-storm",
+	// "liveness", ...) for a cell that blew its budget; empty otherwise.
+	Degraded string `json:"degraded,omitempty"`
+}
+
+// CellOverload is the error a budget-tripped cell returns: it carries
+// the partial cell statistics alongside the typed cause, and unwraps to
+// it, so the sweep's structural Degraded detection fires and Reduce can
+// still report the cell.
+type CellOverload struct {
+	Cell StressCell
+	Err  error // *guard.OverloadError or *invariant.StallError
+}
+
+// Error implements error.
+func (e *CellOverload) Error() string {
+	return fmt.Sprintf("stress: cell %d degraded: %v", e.Cell.Cell, e.Err)
+}
+
+// Unwrap exposes the typed cause to errors.As and to internal/sweep's
+// Degraded-marker walk.
+func (e *CellOverload) Unwrap() error { return e.Err }
+
+// runStressCell executes one cell: Flows concurrent transfers on a
+// shared dumbbell under a seeded-random fault plan, watched by the
+// invariant checker and guarded by the configured budgets.
+func runStressCell(cfg StressConfig, index int, seed int64) (StressCell, error) {
+	sched := sim.NewScheduler(seed)
+	ring := telemetry.NewRing(256)
+	bounded := telemetry.NewBoundedSink(ring, telemetry.BoundedConfig{
+		MaxEvents: cfg.TelemetryBudget,
+		Policy:    telemetry.SampleOneInK,
+		Src:       fmt.Sprintf("cell%d", index),
+	})
+	bus := telemetry.NewBus(bounded)
+	checker := invariant.NewChecker(sched, bus)
+	bus.Subscribe(checker)
+
+	// The paper topology, scaled up: the bottleneck grows with the flow
+	// count so the cell is congested but not parked, and the shared
+	// buffer deepens with the fan-in.
+	dcfg := netem.PaperDropTailConfig(cfg.Flows)
+	if scale := float64(cfg.Flows) / 4; scale > 1 {
+		dcfg.BottleneckBps *= scale
+	}
+	dcfg.ForwardQueue = netem.Must(netem.NewDropTail(8 + cfg.Flows))
+	d, err := netem.NewDumbbell(sched, dcfg)
+	if err != nil {
+		return StressCell{}, err
+	}
+	d.Instrument(bus)
+
+	specs := make([]workload.FlowSpec, cfg.Flows)
+	for i := range specs {
+		specs[i] = workload.FlowSpec{
+			Kind:      cfg.Variants[i%len(cfg.Variants)],
+			StartAt:   sim.Time(i) * 5 * time.Millisecond,
+			Bytes:     cfg.Bytes,
+			Window:    32,
+			Telemetry: bus,
+		}
+	}
+	flows, err := workload.InstallAll(sched, d, specs)
+	if err != nil {
+		return StressCell{}, err
+	}
+	for _, f := range flows {
+		checker.WatchSender(f.Sender)
+	}
+	if err := checker.StartWatchdog(0, 0, 0); err != nil {
+		return StressCell{}, err
+	}
+
+	plan := faults.RandomPlanSpec(sched.DeriveRand("stress-plan"), cfg.Horizon, dcfg)
+	if err := plan.Apply(sched, d, sched.DeriveRand("stress-faults"), bus); err != nil {
+		return StressCell{}, err
+	}
+
+	mon, err := guard.Attach(sched, guard.Limits{
+		MaxEvents:    cfg.MaxEvents,
+		StormEvents:  cfg.StormEvents,
+		MaxWall:      cfg.MaxWall,
+		MaxHeapBytes: cfg.MaxHeapBytes,
+	}, bus)
+	if err != nil {
+		return StressCell{}, err
+	}
+
+	sched.Run(cfg.Horizon)
+	bounded.Finalize(sched.Now())
+
+	cell := StressCell{
+		Cell:             index,
+		Flows:            cfg.Flows,
+		Events:           sched.Processed(),
+		SimTimeS:         sched.Now().Seconds(),
+		TelemetryKept:    bounded.Kept(),
+		TelemetryDropped: bounded.Dropped(),
+	}
+	for _, f := range flows {
+		if f.Sender.Done() {
+			cell.Finished++
+		}
+	}
+	for _, v := range checker.Violations() {
+		if v.Rule == "stall" || v.Rule == "stall-no-timer" {
+			cell.Stalls++
+		} else {
+			cell.Violations++
+		}
+	}
+
+	// Degradation priority: a guard trip explains the run ending early
+	// and wins; a liveness stall with no guard trip degrades too (the
+	// cell wedged but stayed inside its budgets).
+	if oerr := mon.Err(); oerr != nil {
+		cell.Degraded = oerr.Resource
+		return cell, &CellOverload{Cell: cell, Err: oerr}
+	}
+	if serr := checker.StallError(); serr != nil {
+		cell.Degraded = "liveness"
+		return cell, &CellOverload{Cell: cell, Err: serr}
+	}
+	return cell, nil
+}
+
+// StressResult is the full soak outcome.
+type StressResult struct {
+	Config StressConfig `json:"config"`
+	// Cells holds every cell's report in cell order — budget-tripped
+	// cells included, marked by their Degraded field.
+	Cells []StressCell `json:"cells"`
+	// Degraded lists the budget-tripped cells' causes, in cell order.
+	Degraded []StressDegrade `json:"degraded,omitempty"`
+	// Aggregates across all cells.
+	TotalEvents  uint64 `json:"totalEvents"`
+	TotalKept    uint64 `json:"totalKept"`
+	TotalDropped uint64 `json:"totalDropped"`
+	Violations   int    `json:"violations"`
+	Stalls       int    `json:"stalls"`
+}
+
+// StressDegrade records why one cell degraded.
+type StressDegrade struct {
+	Cell     int    `json:"cell"`
+	Resource string `json:"resource"`
+	Detail   string `json:"detail"`
+}
+
+// Violated reports the number of structural invariant violations across
+// the soak — the count that should fail a run. Liveness stalls and
+// budget trips are excluded: they surface as degraded cells, which is
+// the soak behaving as designed.
+func (r *StressResult) Violated() int { return r.Violations }
+
+// Render formats the soak report.
+func (r *StressResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stress soak: %d cells x %d flows (seed %d, %v horizon, %d-byte transfers)\n",
+		r.Config.Cells, r.Config.Flows, r.Config.Seed, r.Config.Horizon, r.Config.Bytes)
+	fmt.Fprintf(&b, "%-5s %6s %9s %10s %9s %8s %8s %s\n",
+		"cell", "flows", "finished", "events", "simtime", "kept", "dropped", "state")
+	for _, c := range r.Cells {
+		state := "ok"
+		if c.Degraded != "" {
+			state = "degraded:" + c.Degraded
+		}
+		fmt.Fprintf(&b, "%-5d %6d %9d %10d %8.2fs %8d %8d %s\n",
+			c.Cell, c.Flows, c.Finished, c.Events, c.SimTimeS,
+			c.TelemetryKept, c.TelemetryDropped, state)
+	}
+	fmt.Fprintf(&b, "total: %d events, %d telemetry kept, %d dropped, %d degraded cells\n",
+		r.TotalEvents, r.TotalKept, r.TotalDropped, len(r.Degraded))
+	for _, d := range r.Degraded {
+		fmt.Fprintf(&b, "DEGRADED cell %d (%s): %s\n", d.Cell, d.Resource, d.Detail)
+	}
+	if r.Violations > 0 {
+		fmt.Fprintf(&b, "INVARIANT VIOLATIONS: %d structural breaches across cells\n", r.Violations)
+	}
+	if r.Stalls > 0 {
+		fmt.Fprintf(&b, "liveness: %d stalled-flow detections\n", r.Stalls)
+	}
+	return b.String()
+}
+
+// StressExperiment adapts the soak to the Experiment interface: one
+// sweep job per cell, seeds derived by the engine from Config.Seed.
+type StressExperiment struct {
+	cfg StressConfig
+}
+
+// NewStressExperiment fills defaults and returns the experiment.
+func NewStressExperiment(cfg StressConfig) *StressExperiment {
+	cfg.fillDefaults()
+	return &StressExperiment{cfg: cfg}
+}
+
+// Name implements Experiment.
+func (e *StressExperiment) Name() string { return "stress" }
+
+// DecodeResult implements ResultCodec for checkpoint resume. Only
+// successful cells are journaled (degraded ones re-run and re-degrade
+// deterministically), so a StressCell is the only shape to restore.
+func (e *StressExperiment) DecodeResult(data []byte) (any, error) {
+	var c StressCell
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("stress: decode checkpointed result: %w", err)
+	}
+	return c, nil
+}
+
+// Jobs implements Experiment.
+func (e *StressExperiment) Jobs() ([]sweep.Job, error) {
+	jobs := make([]sweep.Job, e.cfg.Cells)
+	for i := range jobs {
+		cell := i
+		jobs[i] = sweep.Job{
+			Name: fmt.Sprintf("cell%d", cell),
+			Run: func(seed int64) (any, error) {
+				c, err := runStressCell(e.cfg, cell, seed)
+				if err != nil {
+					return nil, err
+				}
+				return c, nil
+			},
+		}
+	}
+	return jobs, nil
+}
+
+// Reduce implements Experiment: cells assemble in cell order, degraded
+// results are unpacked back into their partial cell reports, and each
+// cell's final overload/drop accounting is republished onto the
+// configured telemetry bus — in cell order, so the aggregate metrics
+// stream is deterministic.
+func (e *StressExperiment) Reduce(results []any) (Renderable, error) {
+	cfg := e.cfg
+	res := &StressResult{Config: cfg}
+	for i, raw := range results {
+		var cell StressCell
+		switch v := raw.(type) {
+		case StressCell:
+			cell = v
+		case sweep.Degraded:
+			var co *CellOverload
+			if !errors.As(v.Err, &co) {
+				return nil, fmt.Errorf("stress: cell %d degraded without cell report: %w", i, v.Err)
+			}
+			cell = co.Cell
+			res.Degraded = append(res.Degraded, StressDegrade{
+				Cell:     cell.Cell,
+				Resource: cell.Degraded,
+				Detail:   co.Err.Error(),
+			})
+		default:
+			return nil, fmt.Errorf("stress: result %d is %T, want StressCell or sweep.Degraded", i, raw)
+		}
+		res.Cells = append(res.Cells, cell)
+		res.TotalEvents += cell.Events
+		res.TotalKept += cell.TelemetryKept
+		res.TotalDropped += cell.TelemetryDropped
+		res.Violations += cell.Violations
+		res.Stalls += cell.Stalls
+
+		if cfg.Telemetry.Enabled() {
+			if cell.TelemetryDropped > 0 {
+				cfg.Telemetry.Publish(telemetry.Event{
+					Comp: telemetry.CompTelemetry, Kind: telemetry.KTelemetryDrops,
+					Src: fmt.Sprintf("cell%d", cell.Cell), Flow: telemetry.NoFlow,
+					A: float64(cell.TelemetryDropped), B: float64(cell.TelemetryKept),
+				})
+			}
+			if cell.Degraded != "" && cell.Degraded != "liveness" {
+				cfg.Telemetry.Publish(telemetry.Event{
+					Comp: telemetry.CompGuard, Kind: telemetry.KOverload,
+					Src: cell.Degraded, Flow: telemetry.NoFlow,
+					A: float64(cell.Events),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Stress runs a soak end to end with default execution options.
+func Stress(cfg StressConfig) (*StressResult, error) {
+	res, err := Run(NewStressExperiment(cfg), RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.(*StressResult), nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rrtcp/internal/telemetry"
+)
+
+// smallStress keeps the soak fast enough for the unit-test tier while
+// still multiplexing several flows per cell.
+func smallStress() StressConfig {
+	return StressConfig{
+		Cells:   2,
+		Flows:   6,
+		Seed:    1,
+		Bytes:   15 * 1000,
+		Horizon: 3 * time.Second,
+	}
+}
+
+func TestStressCleanRunIsDeterministic(t *testing.T) {
+	run := func() string {
+		res, err := Stress(smallStress())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("renders diverged:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+	if strings.Contains(a, "degraded:") {
+		t.Fatalf("unbudgeted small soak degraded:\n%s", a)
+	}
+}
+
+func TestStressBudgetTripDegradesDeterministically(t *testing.T) {
+	cfg := smallStress()
+	cfg.MaxEvents = 800
+	run := func() *StressResult {
+		res, err := Stress(cfg)
+		if err != nil {
+			t.Fatalf("a budget trip must degrade, not fail the sweep: %v", err)
+		}
+		return res
+	}
+	first := run()
+	if len(first.Degraded) != cfg.Cells {
+		t.Fatalf("%d cells degraded, want all %d under an 800-event budget", len(first.Degraded), cfg.Cells)
+	}
+	for _, c := range first.Cells {
+		if c.Degraded != "events" {
+			t.Fatalf("cell %d degraded as %q, want \"events\"", c.Cell, c.Degraded)
+		}
+		if c.Events != cfg.MaxEvents {
+			t.Fatalf("cell %d stopped at %d events, want exactly the %d budget", c.Cell, c.Events, cfg.MaxEvents)
+		}
+	}
+	if got := first.Violated(); got != 0 {
+		t.Fatalf("Violated() = %d; budget trips must not count as structural violations", got)
+	}
+	second := run()
+	if first.Render() != second.Render() {
+		t.Fatalf("degraded reports diverged:\n--- first ---\n%s--- second ---\n%s",
+			first.Render(), second.Render())
+	}
+}
+
+func TestStressRenderReportsDegradedCells(t *testing.T) {
+	cfg := smallStress()
+	cfg.Cells = 1
+	cfg.MaxEvents = 500
+	res, err := Stress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"degraded:events", "DEGRADED cell 0 (events)", "events budget exceeded"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStressReducePublishesAccounting(t *testing.T) {
+	metrics := telemetry.NewMetricsSink()
+	cfg := smallStress()
+	cfg.Cells = 1
+	cfg.MaxEvents = 500
+	cfg.TelemetryBudget = 50 // force drops well before the budget trip
+	cfg.Telemetry = telemetry.NewBus(metrics)
+	res, err := Stress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalDropped == 0 {
+		t.Fatal("a 50-event telemetry budget dropped nothing")
+	}
+	if got := metrics.R.Counter("guard.overloads"); got != 1 {
+		t.Fatalf("guard.overloads = %d, want the one budget trip", got)
+	}
+	if got := metrics.R.Counter("guard.events.trips"); got != 1 {
+		t.Fatalf("guard.events.trips = %d, want 1", got)
+	}
+	if got := metrics.R.Gauge("telemetry.cell0.dropped_events"); got != float64(res.TotalDropped) {
+		t.Fatalf("telemetry.cell0.dropped_events = %g, want %d", got, res.TotalDropped)
+	}
+	if got := metrics.R.Gauge("telemetry.cell0.kept_events"); got != float64(res.TotalKept) {
+		t.Fatalf("telemetry.cell0.kept_events = %g, want %d", got, res.TotalKept)
+	}
+}
+
+func TestStressCellTelemetryStaysBounded(t *testing.T) {
+	cfg := smallStress()
+	cfg.Cells = 1
+	cfg.TelemetryBudget = 100
+	res, err := Stress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.TelemetryDropped == 0 {
+		t.Fatal("a 100-event budget on a multi-flow cell dropped nothing")
+	}
+	// SampleOneInK: past the budget only every 16th event survives, so
+	// kept stays within budget + seen/16 + 1.
+	total := c.TelemetryKept + c.TelemetryDropped
+	if limit := cfg.TelemetryBudget + total/16 + 1; c.TelemetryKept > limit {
+		t.Fatalf("kept %d of %d events, beyond the sampled bound %d", c.TelemetryKept, total, limit)
+	}
+}

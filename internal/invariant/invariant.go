@@ -152,6 +152,39 @@ func (c *Checker) WatchSender(s *tcp.Sender) {
 // Violations returns the recorded breaches in detection order.
 func (c *Checker) Violations() []Violation { return c.violations }
 
+// StallError is the typed error form of a liveness violation, carrying
+// the structural Degraded marker so a job that returns one becomes a
+// Degraded sweep result (like a guard.OverloadError) instead of a
+// failure: a wedged flow at hostile scale is a reportable outcome, not
+// a reason to fail the whole sweep.
+type StallError struct {
+	// V is the first liveness ("stall" / "stall-no-timer") violation the
+	// watchdog recorded.
+	V Violation
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("invariant: liveness violation: %s", e.V)
+}
+
+// Degraded marks the error for internal/sweep's structural taxonomy.
+func (e *StallError) Degraded() bool { return true }
+
+// StallError returns the first recorded liveness violation as a typed
+// *StallError, or nil when the watchdog saw none. Structural (safety)
+// violations are deliberately excluded: those mean the state machine is
+// wrong and must fail the run, while a stall means the run wedged and
+// should degrade.
+func (c *Checker) StallError() *StallError {
+	for _, v := range c.violations {
+		if v.Rule == "stall" || v.Rule == "stall-no-timer" {
+			return &StallError{V: v}
+		}
+	}
+	return nil
+}
+
 // Emit implements telemetry.Sink: every event of a watched flow
 // triggers a full state check for that flow.
 func (c *Checker) Emit(ev telemetry.Event) {
@@ -344,6 +377,12 @@ func (c *Checker) checkRecovery(st *flowState, ev telemetry.Event) {
 //
 // Zero parameters select the defaults (500 ms, 5 s, 300 s); negative
 // ones are an error.
+//
+// The ticks are sim-time scheduled, so the watchdog only observes
+// stalls in runs whose clock still advances. An event storm at a frozen
+// clock (a zero-delay self-rescheduling loop) never reaches the next
+// tick; guard.Limits.StormEvents is the complementary detector for that
+// regime.
 func (c *Checker) StartWatchdog(interval, grace, hard sim.Time) error {
 	if interval < 0 || grace < 0 || hard < 0 {
 		return fmt.Errorf("invariant: watchdog periods must be non-negative, got %v/%v/%v", interval, grace, hard)

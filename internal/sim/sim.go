@@ -119,6 +119,11 @@ type Scheduler struct {
 	// Profiling hook, fired every profEvery processed events.
 	profEvery uint64
 	profHook  func(now Time, processed uint64, pending int)
+
+	// Guard hook, consulted after every processed event; a non-nil
+	// return stops the run and is retained as guardErr.
+	guard    func(now Time, processed uint64, pending int) error
+	guardErr error
 }
 
 // NewScheduler returns a scheduler whose clock reads zero and whose
@@ -172,6 +177,24 @@ func (s *Scheduler) SetProfileHook(every uint64, fn func(now Time, processed uin
 	}
 	s.profEvery, s.profHook = every, fn
 }
+
+// SetGuard installs fn to be consulted after every processed event with
+// the current time, the total processed count, and the heap depth — the
+// scheduler side of the overload guard (internal/guard). When fn
+// returns a non-nil error the run stops after the in-flight event and
+// the error is retained for GuardErr. A nil fn removes the hook; with
+// no guard installed the loop pays a single nil check per event, so a
+// guarded-but-untripped run processes the exact same event sequence as
+// an unguarded one. Like the profiling hook, fn runs synchronously on
+// the simulation goroutine and must not schedule or cancel events.
+func (s *Scheduler) SetGuard(fn func(now Time, processed uint64, pending int) error) {
+	s.guard = fn
+}
+
+// GuardErr reports the error that stopped the last run via the guard
+// hook, or nil. It stays set across subsequent Run calls so callers can
+// inspect it after a multi-phase simulation.
+func (s *Scheduler) GuardErr() error { return s.guardErr }
 
 // Schedule enqueues fn to run after delay and returns a handle that can
 // cancel it. A negative delay returns ErrScheduleInPast.
@@ -249,6 +272,12 @@ func (s *Scheduler) run(until Time, advanceClock bool) {
 		popped.fn()
 		if s.profHook != nil && s.processed%s.profEvery == 0 {
 			s.profHook(s.now, s.processed, s.queue.Len())
+		}
+		if s.guard != nil {
+			if err := s.guard(s.now, s.processed, s.queue.Len()); err != nil {
+				s.guardErr = err
+				s.stopped = true
+			}
 		}
 	}
 	if !s.stopped && advanceClock && s.now < until {

@@ -33,7 +33,12 @@
 // retry.go for the transient/deterministic error taxonomy), StallAfter
 // arms a watchdog that reports hung jobs, and Checkpoint journals
 // completed results so an interrupted sweep resumes instead of
-// restarting (see checkpoint.go).
+// restarting (see checkpoint.go). Orthogonal to all of these, a job
+// whose error carries the structural Degraded marker (an
+// internal/guard resource-budget trip) is converted into a Degraded
+// result instead of a failure, so a sweep at hostile scale completes
+// and reports its pathological cells rather than dying on them (see
+// degrade.go).
 //
 // Progress events (telemetry.KSweepStart/KSweepJob/KSweepDone), the
 // resilience kinds (KSweepStall, KSweepRetry), and the engine's
@@ -353,10 +358,24 @@ func Run(cfg Config, jobs []Job) ([]any, error) {
 						workerBusy[jobWorker[i]] += jobWall[i]
 						workerJobs[jobWorker[i]]++
 					}
-					if errs[i] == nil {
+					switch {
+					case errs[i] == nil:
 						if jerr := cfg.Checkpoint.Append(i, jobs[i].Name, seeds[i], results[i]); jerr != nil && journalErr == nil {
 							journalErr = jerr
 						}
+					case IsDegraded(errs[i]):
+						// Budget trip: the job completed by degrading, not
+						// by failing. Record the Degraded result, clear the
+						// error (so the sweep succeeds), and skip the
+						// journal — on resume the job re-runs and degrades
+						// identically, since deterministic budgets are
+						// functions of the seed.
+						results[i] = Degraded{Job: jobs[i].Name, Index: i, Seed: seeds[i], Err: errs[i]}
+						errs[i] = nil
+						cfg.Telemetry.Publish(telemetry.Event{
+							Comp: telemetry.CompSweep, Kind: telemetry.KSweepDegraded,
+							Src: jobs[i].Name, Flow: telemetry.NoFlow, Seq: int64(i),
+						})
 					}
 				case msgRetry:
 					cfg.Telemetry.Publish(telemetry.Event{
@@ -440,7 +459,7 @@ func executeJob(ctx context.Context, cfg Config, j Job, index int, seed int64, n
 		if err == nil {
 			return res, nil
 		}
-		if attempt >= max || !Transient(err) || ctx.Err() != nil {
+		if attempt >= max || IsDegraded(err) || !Transient(err) || ctx.Err() != nil {
 			return nil, err
 		}
 		backoff := cfg.Retry.Backoff(attempt)

@@ -106,11 +106,31 @@ type SweepStats struct {
 	JobTimeMeanS float64
 	JobTimeMaxS  float64
 	PerWorker    []WorkerStats // sorted by worker index
-	// Resilience counters: transient-failure retries and hung-job
-	// stall detections published by the sweep engine's harness
-	// telemetry (sweep-retry / sweep-stall).
-	Retries int
-	Stalls  int
+	// Resilience counters: transient-failure retries, hung-job stall
+	// detections, and budget-tripped jobs converted into Degraded
+	// results, published by the sweep engine's harness telemetry
+	// (sweep-retry / sweep-stall / sweep-degraded).
+	Retries  int
+	Stalls   int
+	Degraded int
+}
+
+// OverloadStats aggregates one resource's guard "overload" events: how
+// often the budget tripped and the last observed/limit pair.
+type OverloadStats struct {
+	Resource string
+	Trips    int
+	Observed float64 // last trip's observed value
+	Limit    float64
+}
+
+// TelemetryDropStats is the final drop accounting of one bounded sink
+// ("telemetry-drops" markers carry cumulative counts, so the last one
+// in the log is the total).
+type TelemetryDropStats struct {
+	Src     string
+	Dropped float64
+	Kept    float64
 }
 
 // SchedStats aggregates scheduler self-profiling ("sched") events.
@@ -124,10 +144,12 @@ type SchedStats struct {
 type LogSummary struct {
 	From, To float64
 	Events   int
-	Flows    []FlowSummary // sorted by flow id
-	Queues   []QueueDrops  // sorted by comp then src
-	Samples  []SampleStats // sorted by comp, src, flow
-	Sweeps   []SweepStats  // in log order
+	Flows    []FlowSummary        // sorted by flow id
+	Queues   []QueueDrops         // sorted by comp then src
+	Samples  []SampleStats        // sorted by comp, src, flow
+	Sweeps   []SweepStats         // in log order
+	Overload []OverloadStats      // sorted by resource
+	Drops    []TelemetryDropStats // sorted by src
 	Sched    SchedStats
 }
 
@@ -139,6 +161,8 @@ func Summarize(records []Record) LogSummary {
 	open := map[int32]*Episode{} // in-progress episode per flow
 	drops := map[[2]string]*QueueDrops{}
 	samples := map[sampleKey]*SampleStats{}
+	overloads := map[string]*OverloadStats{}
+	tdrops := map[string]*TelemetryDropStats{}
 	var curSweep *SweepStats // open sweep, appended to sum.Sweeps on done/EOF
 
 	flowOf := func(id int32) *FlowSummary {
@@ -243,6 +267,29 @@ func Summarize(records []Record) LogSummary {
 		case KSweepStall.String():
 			sweepOf("").Stalls++
 			continue
+		case KSweepDegraded.String():
+			sweepOf("").Degraded++
+			continue
+		case KOverload.String():
+			o := overloads[r.Src]
+			if o == nil {
+				o = &OverloadStats{Resource: r.Src}
+				overloads[r.Src] = o
+			}
+			o.Trips++
+			o.Observed = r.Attr("observed", 0)
+			o.Limit = r.Attr("limit", 0)
+			continue
+		case KTelemetryDrops.String():
+			d := tdrops[r.Src]
+			if d == nil {
+				d = &TelemetryDropStats{Src: r.Src}
+				tdrops[r.Src] = d
+			}
+			// Cumulative counters: the latest marker supersedes.
+			d.Dropped = r.Attr("dropped", 0)
+			d.Kept = r.Attr("kept", 0)
+			continue
 		case KSweepWorker.String():
 			s := sweepOf("")
 			if w, ok := atoiSafe(r.Src); ok {
@@ -341,6 +388,14 @@ func Summarize(records []Record) LogSummary {
 		}
 		return a.Flow < b.Flow
 	})
+	for _, o := range overloads {
+		sum.Overload = append(sum.Overload, *o)
+	}
+	sort.Slice(sum.Overload, func(i, j int) bool { return sum.Overload[i].Resource < sum.Overload[j].Resource })
+	for _, d := range tdrops {
+		sum.Drops = append(sum.Drops, *d)
+	}
+	sort.Slice(sum.Drops, func(i, j int) bool { return sum.Drops[i].Src < sum.Drops[j].Src })
 	if curSweep != nil { // log ended mid-sweep
 		sum.Sweeps = append(sum.Sweeps, *curSweep)
 	}
@@ -431,12 +486,26 @@ func (s LogSummary) Render() string {
 			fmt.Fprintf(&b, "  job wall: n=%d mean=%.4fs max=%.4fs\n",
 				sw.JobTimeN, sw.JobTimeMeanS, sw.JobTimeMaxS)
 		}
-		if sw.Retries > 0 || sw.Stalls > 0 {
-			fmt.Fprintf(&b, "  resilience: %d retries, %d stall events\n",
-				sw.Retries, sw.Stalls)
+		if sw.Retries > 0 || sw.Stalls > 0 || sw.Degraded > 0 {
+			fmt.Fprintf(&b, "  resilience: %d retries, %d stall events, %d degraded\n",
+				sw.Retries, sw.Stalls, sw.Degraded)
 		}
 		for _, w := range sw.PerWorker {
 			fmt.Fprintf(&b, "  worker %d: %d jobs, %.4fs busy\n", w.Worker, w.Jobs, w.BusyS)
+		}
+	}
+	if len(s.Overload) > 0 {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "overload trips:\n%-12s %-6s %-14s %s\n", "resource", "trips", "observed", "limit")
+		for _, o := range s.Overload {
+			fmt.Fprintf(&b, "%-12s %-6d %-14.6g %.6g\n", o.Resource, o.Trips, o.Observed, o.Limit)
+		}
+	}
+	if len(s.Drops) > 0 {
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "telemetry drops:\n%-12s %-12s %s\n", "sink", "dropped", "kept")
+		for _, d := range s.Drops {
+			fmt.Fprintf(&b, "%-12s %-12.0f %.0f\n", d.Src, d.Dropped, d.Kept)
 		}
 	}
 	if s.Sched.Profiles > 0 {

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"rrtcp/internal/sim"
+)
+
+// DropPolicy selects what a BoundedSink does with events past its
+// budget.
+type DropPolicy uint8
+
+const (
+	// DropNewest forwards the first MaxEvents events and drops
+	// everything after — the log keeps the run's head, where setup and
+	// early dynamics live.
+	DropNewest DropPolicy = iota
+	// SampleOneInK forwards the first MaxEvents events and then every
+	// K-th event — the log thins to a sketch of the tail instead of
+	// going silent.
+	SampleOneInK
+)
+
+// String implements fmt.Stringer.
+func (p DropPolicy) String() string {
+	switch p {
+	case DropNewest:
+		return "drop-newest"
+	case SampleOneInK:
+		return "sample-1-in-k"
+	default:
+		return fmt.Sprintf("DropPolicy(%d)", int(p))
+	}
+}
+
+// ParseDropPolicy is the inverse of DropPolicy.String.
+func ParseDropPolicy(s string) (DropPolicy, error) {
+	switch s {
+	case "drop-newest":
+		return DropNewest, nil
+	case "sample-1-in-k", "sample":
+		return SampleOneInK, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown drop policy %q", s)
+	}
+}
+
+// BoundedConfig parameterizes a BoundedSink.
+type BoundedConfig struct {
+	// MaxEvents is the budget of events forwarded before Policy engages.
+	// Zero disables bounding entirely (pure pass-through).
+	MaxEvents uint64
+	// Policy selects the over-budget behavior.
+	Policy DropPolicy
+	// K is the SampleOneInK modulus; zero selects 16.
+	K uint64
+	// Src labels this sink's drop-marker events (the "src" field of the
+	// telemetry-drops lines); empty selects "bounded".
+	Src string
+	// MarkEvery is the cadence (in dropped events) of drop-marker
+	// injection after the first; zero selects 8192. The first drop is
+	// always marked, so a reader knows immediately that the stream is
+	// thinned.
+	MarkEvery uint64
+}
+
+// BoundedSink wraps another sink with an explicit event budget and drop
+// policy, so telemetry under overload thins predictably instead of
+// ballooning. Drops are accounted two ways: Dropped/Kept counters read
+// in-process, and "telemetry-drops" marker events injected into the
+// downstream sink (cumulative counts), which flow into NDJSON logs,
+// rrtrace summary, and — through a MetricsSink — the Registry and
+// /metrics.
+//
+// The decision to keep or drop depends only on the event count and the
+// policy, never on wall time, so a bounded stream is as deterministic
+// as its input.
+type BoundedSink struct {
+	inner Sink
+	cfg   BoundedConfig
+
+	seen, kept, dropped uint64
+}
+
+// NewBoundedSink wraps inner with the given budget and policy.
+func NewBoundedSink(inner Sink, cfg BoundedConfig) *BoundedSink {
+	if cfg.K == 0 {
+		cfg.K = 16
+	}
+	if cfg.Src == "" {
+		cfg.Src = "bounded"
+	}
+	if cfg.MarkEvery == 0 {
+		cfg.MarkEvery = 8192
+	}
+	return &BoundedSink{inner: inner, cfg: cfg}
+}
+
+// Emit implements Sink.
+func (b *BoundedSink) Emit(ev Event) {
+	b.seen++
+	if b.cfg.MaxEvents == 0 || b.seen <= b.cfg.MaxEvents {
+		b.kept++
+		b.inner.Emit(ev)
+		return
+	}
+	if b.cfg.Policy == SampleOneInK && (b.seen-b.cfg.MaxEvents)%b.cfg.K == 0 {
+		b.kept++
+		b.inner.Emit(ev)
+		return
+	}
+	b.dropped++
+	if b.dropped == 1 || b.dropped%b.cfg.MarkEvery == 0 {
+		b.mark(ev.At)
+	}
+}
+
+// mark injects a cumulative drop-accounting event downstream.
+func (b *BoundedSink) mark(at sim.Time) {
+	b.inner.Emit(Event{
+		At:   at,
+		Comp: CompTelemetry,
+		Kind: KTelemetryDrops,
+		Src:  b.cfg.Src,
+		Flow: NoFlow,
+		A:    float64(b.dropped),
+		B:    float64(b.kept),
+	})
+}
+
+// Finalize injects a final drop marker carrying the totals, stamped at
+// the given sim time — call it when the run ends so the log's last word
+// on drops is exact. It emits nothing when nothing was dropped.
+func (b *BoundedSink) Finalize(at sim.Time) {
+	if b.dropped > 0 {
+		b.mark(at)
+	}
+}
+
+// Seen reports the number of events offered to the sink.
+func (b *BoundedSink) Seen() uint64 { return b.seen }
+
+// Kept reports the number of events forwarded downstream (drop markers
+// not included).
+func (b *BoundedSink) Kept() uint64 { return b.kept }
+
+// Dropped reports the number of events the policy discarded.
+func (b *BoundedSink) Dropped() uint64 { return b.dropped }

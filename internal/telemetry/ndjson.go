@@ -231,14 +231,20 @@ func DecodeNDJSON(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
+// maxDecodeLine caps how much of a single input line the lenient
+// decoder buffers. No line NDJSONSink writes comes near it; a line that
+// exceeds it (foreign output, binary garbage) is skipped and counted
+// like any other malformed line rather than aborting the decode.
+const maxDecodeLine = 1 << 20
+
 // DecodeNDJSONLenient parses an event log, skipping and counting
 // malformed lines instead of aborting — the behavior cmd/rrtrace needs
 // for logs truncated mid-line (a killed run) or polluted by interleaved
-// stderr. The returned error covers only I/O-level failures; parse
-// problems are reported through DecodeStats.
+// stderr. Lines longer than maxDecodeLine are likewise skipped and
+// counted, not treated as fatal. The returned error covers only
+// I/O-level failures; parse problems are reported through DecodeStats.
 func DecodeNDJSONLenient(r io.Reader) ([]Record, DecodeStats, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	br := bufio.NewReaderSize(r, 64<<10)
 	var out []Record
 	var stats DecodeStats
 	lineNo := 0
@@ -248,13 +254,43 @@ func DecodeNDJSONLenient(r io.Reader) ([]Record, DecodeStats, error) {
 			stats.FirstErr = fmt.Errorf("telemetry: line %d: %w", lineNo, err)
 		}
 	}
-	for sc.Scan() {
-		lineNo++
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
+	var buf []byte      // current line, accumulated across ReadSlice calls
+	overlong := false   // current line already past maxDecodeLine
+	var readErr error   // terminal I/O error, reported after the last line
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if err == bufio.ErrBufferFull {
+			if len(buf) > maxDecodeLine {
+				// Stop accumulating a runaway line; remember to skip it
+				// when its newline finally arrives.
+				buf = buf[:0]
+				overlong = true
+			}
 			continue
 		}
+		atEOF := err != nil
+		if atEOF && err != io.EOF {
+			readErr = err
+		}
+		line := bytes.TrimSpace(buf)
+		wasOverlong := overlong || len(buf) > maxDecodeLine
+		buf, overlong = buf[:0], false
+		if len(line) == 0 && !wasOverlong {
+			if atEOF {
+				break
+			}
+			continue
+		}
+		lineNo++
 		stats.Lines++
+		if wasOverlong {
+			skip(lineNo, fmt.Errorf("line exceeds %d-byte cap", maxDecodeLine))
+			if atEOF {
+				break
+			}
+			continue
+		}
 		var raw map[string]any
 		if err := json.Unmarshal(line, &raw); err != nil {
 			skip(lineNo, err)
@@ -290,9 +326,12 @@ func DecodeNDJSONLenient(r io.Reader) ([]Record, DecodeStats, error) {
 			continue
 		}
 		out = append(out, rec)
+		if atEOF {
+			break
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return out, stats, fmt.Errorf("telemetry: read: %w", err)
+	if readErr != nil {
+		return out, stats, fmt.Errorf("telemetry: read: %w", readErr)
 	}
 	return out, stats, nil
 }

@@ -33,6 +33,9 @@ func (p *ProgressSink) Emit(ev Event) {
 	case KSweepRetry:
 		fmt.Fprintf(p.w, "\rretry: job %d (%s) attempt %d failed, backing off %.2gs%-10s\n",
 			ev.Seq, ev.Src, int(ev.A), ev.B, "")
+	case KSweepDegraded:
+		fmt.Fprintf(p.w, "\rdegraded: job %d (%s) hit its resource budget%-10s\n",
+			ev.Seq, ev.Src, "")
 	case KSweepDone:
 		if p.started {
 			fmt.Fprintf(p.w, "\r%s: %d jobs done%-30s\n", label(ev.Src), int(ev.A), "")

@@ -405,11 +405,21 @@ func (m *MetricsSink) Emit(ev Event) {
 	case KSweepWorker:
 		m.R.SetGauge(srcKey("sweep", ev.Src, "worker_busy_s"), ev.A)
 		m.R.SetGauge(srcKey("sweep", ev.Src, "worker_jobs"), ev.B)
+	case KSweepDegraded:
+		m.R.Inc("sweep.degraded", 1)
 	case KSweepDone:
 		m.R.Inc("sweep.finished", 1)
 		if ev.B > 0 {
 			m.R.SetGauge("sweep.wall_s", ev.B)
 		}
+	case KOverload:
+		m.R.Inc("guard.overloads", 1)
+		m.R.Inc(srcKey("guard", ev.Src, "trips"), 1)
+	case KTelemetryDrops:
+		// Cumulative counts ride the event, so the gauges always show the
+		// sink's latest accounting.
+		m.R.SetGauge(srcKey("telemetry", ev.Src, "dropped_events"), ev.A)
+		m.R.SetGauge(srcKey("telemetry", ev.Src, "kept_events"), ev.B)
 	}
 }
 

@@ -66,6 +66,9 @@ type ProgressSnapshot struct {
 	// Retries counts job attempts that failed transiently and were
 	// re-executed (KSweepRetry events).
 	Retries int `json:"retries,omitempty"`
+	// Degraded counts jobs whose resource-budget trips were converted
+	// into Degraded results (KSweepDegraded events).
+	Degraded int `json:"degraded,omitempty"`
 	// Stalled lists in-flight jobs currently past the stall threshold,
 	// in stall-event order.
 	Stalled []StalledJob `json:"stalled,omitempty"`
@@ -138,6 +141,9 @@ func (p *ProgressState) Emit(ev Event) {
 	case KSweepRetry:
 		p.snap.Retries++
 		// The wedged attempt was abandoned; the job is live again.
+		p.dropStalled(int(ev.Seq))
+	case KSweepDegraded:
+		p.snap.Degraded++
 		p.dropStalled(int(ev.Seq))
 	case KSweepDone:
 		p.snap.Active = false

@@ -39,6 +39,8 @@ const (
 	CompFault                          // a fault injector (internal/faults)
 	CompInvariant                      // the runtime invariant checker
 	CompSweep                          // the parallel sweep engine (internal/sweep)
+	CompGuard                          // the overload guard (internal/guard)
+	CompTelemetry                      // the telemetry layer itself (BoundedSink drop accounting)
 
 	compSentinel // keep last
 )
@@ -66,6 +68,10 @@ func (c Component) String() string {
 		return "invariant"
 	case CompSweep:
 		return "sweep"
+	case CompGuard:
+		return "guard"
+	case CompTelemetry:
+		return "telemetry"
 	default:
 		return "?"
 	}
@@ -151,6 +157,20 @@ const (
 	KSweepStall // an in-flight job exceeded the stall threshold (Src=job name, Seq=index, A=running seconds, B=worker)
 	KSweepRetry // a job attempt failed transiently and will be retried (Src=job name, Seq=index, A=attempt, B=backoff seconds)
 
+	// Overload guardrails (internal/guard and the BoundedSink).
+	// KOverload fires on the simulation goroutine at the instant a
+	// resource budget trips (Src=resource name, A=observed, B=limit).
+	// KTelemetryDrops is the BoundedSink's drop accounting marker,
+	// injected into its downstream sink so thinned logs say how much is
+	// missing (Src=sink label, A=cumulative dropped, B=cumulative kept).
+	// KSweepDegraded fires on the sweep coordinator when a job's budget
+	// trip is converted into a Degraded result (Src=job name, Seq=index);
+	// like the other sweep kinds it is exempt from the determinism
+	// contract.
+	KOverload
+	KTelemetryDrops
+	KSweepDegraded
+
 	kindSentinel // keep last
 )
 
@@ -223,6 +243,12 @@ func (k Kind) String() string {
 		return "sweep-stall"
 	case KSweepRetry:
 		return "sweep-retry"
+	case KOverload:
+		return "overload"
+	case KTelemetryDrops:
+		return "telemetry-drops"
+	case KSweepDegraded:
+		return "sweep-degraded"
 	default:
 		return "?"
 	}
@@ -284,6 +310,10 @@ func (k Kind) attrNames() (a, b string) {
 		return "running_s", "worker"
 	case KSweepRetry:
 		return "attempt", "backoff_s"
+	case KOverload:
+		return "observed", "limit"
+	case KTelemetryDrops:
+		return "dropped", "kept"
 	default:
 		return "", ""
 	}

@@ -25,6 +25,7 @@ import (
 	"rrtcp/internal/core"
 	"rrtcp/internal/experiments"
 	"rrtcp/internal/faults"
+	"rrtcp/internal/guard"
 	"rrtcp/internal/invariant"
 	"rrtcp/internal/model"
 	"rrtcp/internal/netem"
@@ -595,3 +596,63 @@ func LoadChaosBundle(path string) (*ChaosBundle, error) { return experiments.Loa
 func ReplayChaosBundle(b *ChaosBundle) (*experiments.ChaosOutcome, error) {
 	return experiments.ReplayBundle(b)
 }
+
+// --- overload guardrails: budgets, bounded telemetry, degradation ---
+
+type (
+	// GuardLimits is a set of resource budgets (events, sim-time, event
+	// storm, wall clock, heap) attached to a scheduler; zero fields mean
+	// "no limit".
+	GuardLimits = guard.Limits
+	// GuardMonitor observes one scheduler against a GuardLimits set.
+	GuardMonitor = guard.Monitor
+	// OverloadError is the typed error a tripped resource budget
+	// produces; it carries the sweep's Degraded marker.
+	OverloadError = guard.OverloadError
+	// StallError is the typed error form of a liveness ("stall")
+	// violation; like OverloadError it degrades rather than fails.
+	StallError = invariant.StallError
+	// BoundedSink wraps a telemetry sink with an event budget and drop
+	// policy, with drop accounting surfaced as "telemetry-drops" events.
+	BoundedSink = telemetry.BoundedSink
+	// BoundedSinkConfig parameterizes a BoundedSink.
+	BoundedSinkConfig = telemetry.BoundedConfig
+	// TelemetryDropPolicy selects the over-budget behavior
+	// (TelemetryDropNewest or TelemetrySampleOneInK).
+	TelemetryDropPolicy = telemetry.DropPolicy
+	// SweepDegraded is the result slot of a sweep job whose resource
+	// budget tripped: the sweep completes and reports it instead of
+	// failing.
+	SweepDegraded = sweep.Degraded
+	// StressConfig / StressResult: the overload soak (rrsim stress).
+	StressConfig = experiments.StressConfig
+	StressResult = experiments.StressResult
+)
+
+// Telemetry drop policies for BoundedSinkConfig.Policy.
+const (
+	TelemetryDropNewest   = telemetry.DropNewest
+	TelemetrySampleOneInK = telemetry.SampleOneInK
+)
+
+// AttachGuard installs a resource-budget monitor on the scheduler; a
+// tripped budget stops the run with a typed *OverloadError and
+// publishes an "overload" telemetry event on bus (which may be nil).
+func AttachGuard(sched *Scheduler, limits GuardLimits, bus *TelemetryBus) (*GuardMonitor, error) {
+	return guard.Attach(sched, limits, bus)
+}
+
+// NewBoundedSink wraps inner with an event budget and drop policy.
+func NewBoundedSink(inner TelemetrySink, cfg BoundedSinkConfig) *BoundedSink {
+	return telemetry.NewBoundedSink(inner, cfg)
+}
+
+// SweepIsDegraded reports whether a job error carries the structural
+// Degraded marker (a resource-budget trip) anywhere in its Unwrap
+// chain.
+func SweepIsDegraded(err error) bool { return sweep.IsDegraded(err) }
+
+// RunStress runs the overload soak: cells of concurrent flows under
+// chaos plans, invariant checking, bounded telemetry, and guard
+// budgets, with budget-tripped cells degrading instead of failing.
+func RunStress(cfg StressConfig) (*StressResult, error) { return experiments.Stress(cfg) }

@@ -310,8 +310,9 @@ func BenchmarkEndToEndSimulationThroughput(b *testing.B) {
 // compares these numbers across PRs; see docs/OBSERVABILITY.md.
 
 // runHeadlineWorld builds and runs the standard measurement scenario,
-// returning the scheduler for its counters.
-func runHeadlineWorld(b *testing.B) *rrtcp.Scheduler {
+// returning the scheduler (for its counters) and the topology (for its
+// packet pool).
+func runHeadlineWorld(b *testing.B) (*rrtcp.Scheduler, *rrtcp.Dumbbell) {
 	b.Helper()
 	sched := rrtcp.NewScheduler(1)
 	cfg := rrtcp.PaperDropTailConfig(10)
@@ -328,17 +329,36 @@ func runHeadlineWorld(b *testing.B) *rrtcp.Scheduler {
 		b.Fatal(err)
 	}
 	sched.Run(6 * time.Second)
-	return sched
+	return sched, d
+}
+
+// reportHeadlineWorkingSet publishes the engine working-set metrics the
+// performance trajectory tracks alongside throughput: the deepest the
+// pending-event heap got, and the packet pool's recycling hit rate
+// (fraction of Gets served without allocating).
+func reportHeadlineWorkingSet(b *testing.B, heapHighWater int, poolGets, poolHits uint64) {
+	b.Helper()
+	b.ReportMetric(float64(heapHighWater), "heap-highwater")
+	if poolGets > 0 {
+		b.ReportMetric(float64(poolHits)/float64(poolGets), "pool-hit-ratio")
+	}
 }
 
 func BenchmarkEventsPerSec(b *testing.B) {
-	var events uint64
+	var events, poolGets, poolHits uint64
+	highWater := 0
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		events += runHeadlineWorld(b).Processed()
+		sched, d := runHeadlineWorld(b)
+		events += sched.Processed()
+		if hw := sched.HeapHighWater(); hw > highWater {
+			highWater = hw
+		}
+		poolGets += d.Pool().Gets
+		poolHits += d.Pool().Hits
 	}
 	b.StopTimer()
 	runtime.ReadMemStats(&after)
@@ -348,19 +368,28 @@ func BenchmarkEventsPerSec(b *testing.B) {
 	if events > 0 {
 		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
 	}
+	reportHeadlineWorkingSet(b, highWater, poolGets, poolHits)
 }
 
 func BenchmarkPacketsPerSec(b *testing.B) {
+	var poolGets, poolHits uint64
+	highWater := 0
 	_, before := rrtcp.SimCounters()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runHeadlineWorld(b)
+		sched, d := runHeadlineWorld(b)
+		if hw := sched.HeapHighWater(); hw > highWater {
+			highWater = hw
+		}
+		poolGets += d.Pool().Gets
+		poolHits += d.Pool().Hits
 	}
 	b.StopTimer()
 	_, after := rrtcp.SimCounters()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(after-before)/secs, "packets/sec")
 	}
+	reportHeadlineWorkingSet(b, highWater, poolGets, poolHits)
 }
 
 // --- live-introspection overhead ---

@@ -147,9 +147,9 @@ func smoothStartRun(cfg SmoothStartConfig, smooth bool, seed int64) (SmoothStart
 
 	// Snapshot drops after the slow-start window.
 	var earlyDrops uint64
-	if _, err := sched.Schedule(time.Second, func() {
+	if err := sched.NewTimer(func() {
 		earlyDrops = d.BottleneckQueue().Drops
-	}); err != nil {
+	}).At(sched.Now() + time.Second); err != nil {
 		return SmoothStartRow{}, err
 	}
 

@@ -101,8 +101,30 @@ type Reorderer struct {
 	rate     float64
 	min, max sim.Time
 
+	// heldFree recycles held-packet entries (and their timer slots)
+	// across reorder events.
+	heldFree *heldPacket
+
 	// Reordered counts packets held back.
 	Reordered uint64
+}
+
+// heldPacket is one delayed delivery in flight: a pooled pairing of a
+// packet with a reusable timer, so repeated reordering does not grow
+// the scheduler's timer arena.
+type heldPacket struct {
+	r     *Reorderer
+	p     *netem.Packet
+	timer *sim.Timer
+	next  *heldPacket
+}
+
+func (h *heldPacket) deliver() {
+	r, p := h.r, h.p
+	h.p = nil
+	h.next = r.heldFree
+	r.heldFree = h
+	r.dst.Receive(p)
 }
 
 var _ netem.Node = (*Reorderer)(nil)
@@ -134,9 +156,15 @@ func (r *Reorderer) Receive(p *netem.Packet) {
 	}
 	r.Reordered++
 	r.emit(telemetry.KFaultReorder, p, extra.Seconds(), 0)
-	if _, err := r.sched.Schedule(extra, func() { r.dst.Receive(p) }); err != nil {
-		r.dst.Receive(p)
+	h := r.heldFree
+	if h != nil {
+		r.heldFree = h.next
+	} else {
+		h = &heldPacket{r: r}
+		h.timer = r.sched.NewTimer(h.deliver)
 	}
+	h.p = p
+	h.timer.Reset(extra)
 }
 
 // Duplicator re-delivers a random subset of packets twice, as a
@@ -165,14 +193,17 @@ func NewDuplicator(sched *sim.Scheduler, rng *rand.Rand, rate float64, dst netem
 
 // Receive implements netem.Node.
 func (d *Duplicator) Receive(p *netem.Packet) {
-	d.dst.Receive(p)
 	if d.rng.Float64() < d.rate {
-		copy := *p
-		copy.ID = netem.NextID()
+		// Clone before forwarding: the downstream chain may consume and
+		// recycle the original (and its SACK backing) immediately.
+		c := p.Clone()
 		d.Duplicated++
 		d.emit(telemetry.KFaultDup, p, 0, 0)
-		d.dst.Receive(&copy)
+		d.dst.Receive(p)
+		d.dst.Receive(c)
+		return
 	}
+	d.dst.Receive(p)
 }
 
 // Corrupter drops a random subset of packets, modeling bit errors: a
@@ -204,6 +235,7 @@ func (c *Corrupter) Receive(p *netem.Packet) {
 	if c.rng.Float64() < c.rate {
 		c.Corrupted++
 		c.emit(telemetry.KDrop, p, 0, 1)
+		p.Release()
 		return
 	}
 	c.dst.Receive(p)
@@ -218,8 +250,8 @@ type AckCompressor struct {
 	hold sim.Time
 	max  int
 
-	held    []*netem.Packet
-	pending *sim.Event
+	held      []*netem.Packet
+	holdTimer *sim.Timer
 
 	// Batches counts release bursts.
 	Batches uint64
@@ -239,7 +271,9 @@ func NewAckCompressor(sched *sim.Scheduler, hold sim.Time, max int, dst netem.No
 	if max < 2 {
 		return nil, fmt.Errorf("faults: ACK batch size must be >= 2, got %d", max)
 	}
-	return &AckCompressor{injector: injector{sched: sched, dst: dst}, hold: hold, max: max}, nil
+	a := &AckCompressor{injector: injector{sched: sched, dst: dst}, hold: hold, max: max}
+	a.holdTimer = sched.NewTimer(a.release)
+	return a, nil
 }
 
 // Receive implements netem.Node.
@@ -254,20 +288,12 @@ func (a *AckCompressor) Receive(p *netem.Packet) {
 		return
 	}
 	if len(a.held) == 1 {
-		ev, err := a.sched.Schedule(a.hold, a.release)
-		if err != nil {
-			a.release()
-			return
-		}
-		a.pending = ev
+		a.holdTimer.Reset(a.hold)
 	}
 }
 
 func (a *AckCompressor) release() {
-	if a.pending != nil {
-		a.sched.Cancel(a.pending)
-		a.pending = nil
-	}
+	a.holdTimer.Stop()
 	if len(a.held) == 0 {
 		return
 	}

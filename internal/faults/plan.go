@@ -133,23 +133,23 @@ func (p *PlanSpec) Apply(sched *sim.Scheduler, d *netem.Dumbbell, rng *rand.Rand
 
 	for _, f := range p.Flaps {
 		f := f
-		if _, err := sched.At(f.At.D(), func() {
+		if err := sched.NewTimer(func() {
 			d.ForwardLink().SetDown(true)
 			d.ReverseLink().SetDown(true)
-		}); err != nil {
+		}).At(f.At.D()); err != nil {
 			return fmt.Errorf("faults: schedule flap: %w", err)
 		}
-		if _, err := sched.At(f.At.D()+f.Down.D(), func() {
+		if err := sched.NewTimer(func() {
 			d.ForwardLink().SetDown(false)
 			d.ReverseLink().SetDown(false)
-		}); err != nil {
+		}).At(f.At.D() + f.Down.D()); err != nil {
 			return fmt.Errorf("faults: schedule flap recovery: %w", err)
 		}
 	}
 
 	for _, r := range p.Renegotiations {
 		r := r
-		if _, err := sched.At(r.At.D(), func() {
+		if err := sched.NewTimer(func() {
 			for _, l := range []*netem.Link{d.ForwardLink(), d.ReverseLink()} {
 				if r.BandwidthBps > 0 {
 					// Validated above; Set* re-checks and cannot fail here.
@@ -159,7 +159,7 @@ func (p *PlanSpec) Apply(sched *sim.Scheduler, d *netem.Dumbbell, rng *rand.Rand
 					_ = l.SetDelay(r.Delay.D())
 				}
 			}
-		}); err != nil {
+		}).At(r.At.D()); err != nil {
 			return fmt.Errorf("faults: schedule renegotiation: %w", err)
 		}
 	}

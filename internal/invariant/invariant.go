@@ -396,8 +396,8 @@ func (c *Checker) StartWatchdog(interval, grace, hard sim.Time) error {
 	if hard == 0 {
 		hard = 300 * time.Second
 	}
-	var tick func()
-	tick = func() {
+	var timer *sim.Timer
+	tick := func() {
 		now := c.sched.Now()
 		for _, flow := range c.order {
 			st := c.flows[flow]
@@ -414,8 +414,8 @@ func (c *Checker) StartWatchdog(interval, grace, hard sim.Time) error {
 				c.report(flow, "stall", "no progress for %v (una=%d)", idle, st.probe.SndUna())
 			}
 		}
-		_, _ = c.sched.Schedule(interval, tick)
+		timer.Reset(interval)
 	}
-	_, err := c.sched.Schedule(interval, tick)
-	return err
+	timer = c.sched.NewTimer(tick)
+	return timer.At(c.sched.Now() + interval)
 }

@@ -15,9 +15,13 @@ type CBRSource struct {
 	flow  int
 	size  int
 	gap   sim.Time
+	tick  *sim.Timer
 
 	running bool
 	stopped bool
+
+	// Pool, when non-nil, supplies the emitted packets.
+	Pool *PacketPool
 
 	// Sent counts emitted packets.
 	Sent uint64
@@ -32,7 +36,9 @@ func NewCBR(sched *sim.Scheduler, flow int, rateBps float64, size int, dst Node)
 	if gap < 1 {
 		gap = 1
 	}
-	return &CBRSource{sched: sched, dst: dst, flow: flow, size: size, gap: gap}
+	c := &CBRSource{sched: sched, dst: dst, flow: flow, size: size, gap: gap}
+	c.tick = sched.NewTimer(c.emit)
+	return c
 }
 
 // Start schedules the first emission after delay.
@@ -41,8 +47,7 @@ func (c *CBRSource) Start(delay sim.Time) error {
 		return nil
 	}
 	c.running = true
-	_, err := c.sched.Schedule(delay, c.emit)
-	return err
+	return c.tick.At(c.sched.Now() + delay)
 }
 
 // Stop halts emission after the next tick.
@@ -53,15 +58,13 @@ func (c *CBRSource) emit() {
 		return
 	}
 	c.Sent++
-	c.dst.Receive(&Packet{
-		ID:   NextID(),
-		Flow: c.flow,
-		Kind: Data,
-		Seq:  int64(c.Sent) * int64(c.size),
-		Len:  c.size,
-		Size: c.size,
-	})
-	if _, err := c.sched.Schedule(c.gap, c.emit); err != nil {
-		c.stopped = true
-	}
+	p := c.Pool.Get()
+	p.ID = NextID()
+	p.Flow = c.flow
+	p.Kind = Data
+	p.Seq = int64(c.Sent) * int64(c.size)
+	p.Len = c.size
+	p.Size = c.size
+	c.dst.Receive(p)
+	c.tick.Reset(c.gap)
 }

@@ -82,6 +82,7 @@ func (g *GilbertLoss) Receive(p *Packet) {
 	if g.bad && g.rng.Float64() < g.PDropBad {
 		g.Dropped++
 		g.emitDrop(p)
+		p.Release()
 		return
 	}
 	g.Forwarded++

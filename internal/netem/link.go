@@ -37,6 +37,15 @@ type Link struct {
 	queue *Queue
 	busy  bool
 
+	// txTimer paces serialization: it fires transmitNext once per packet
+	// after the transmission delay. Created once per link, re-armed per
+	// packet with no allocation.
+	txTimer *sim.Timer
+	// flightFree recycles in-flight delivery records (packet + flap
+	// snapshot + delivery timer). The pool's depth is bounded by the
+	// link's bandwidth-delay product in packets.
+	flightFree *flight
+
 	// down marks a failed link: nothing serializes while set, and every
 	// packet on the wire when the failure began is lost.
 	down bool
@@ -80,7 +89,8 @@ func NewLink(sched *sim.Scheduler, bandwidthBps float64, delay sim.Time, q Queue
 		Delay:        delay,
 		Dst:          dst,
 	}
-	l.queue = &Queue{disc: q, sched: sched}
+	l.txTimer = sched.NewTimer(l.transmitNext)
+	l.queue = newQueue(q, sched)
 	return l, nil
 }
 
@@ -228,38 +238,70 @@ func (l *Link) transmitNext() {
 	// The packet leaves the queue now and arrives after tx+prop delay;
 	// the link is free to start the next packet after tx delay alone. A
 	// packet on the wire across a carrier loss never arrives: the flap
-	// counter at transmission time is compared at delivery time.
-	flapsAtTx := l.flaps
-	if _, err := l.sched.Schedule(txDelay+l.Delay, func() {
-		if l.flaps != flapsAtTx {
-			l.dropInFlight(p)
-			return
-		}
-		l.Dst.Receive(p)
-	}); err != nil {
-		l.busy = false
+	// counter at transmission time is compared at delivery time. The
+	// delivery timer must be armed before the serialization timer so
+	// simultaneous firings keep the historical order (delivery first).
+	f := l.getFlight()
+	f.p = p
+	f.flapsAtTx = l.flaps
+	f.timer.Reset(txDelay + l.Delay)
+	l.txTimer.Reset(txDelay)
+}
+
+// flight is one packet on the wire: the delivery timer plus the state
+// its expiry needs. Flight records are pooled per link, and each owns
+// its timer (and the one handler closure binding them) for its whole
+// pooled lifetime, so steady-state transmission allocates nothing.
+type flight struct {
+	l         *Link
+	p         *Packet
+	flapsAtTx uint64
+	timer     *sim.Timer
+	next      *flight
+}
+
+func (l *Link) getFlight() *flight {
+	f := l.flightFree
+	if f == nil {
+		f = &flight{l: l}
+		f.timer = l.sched.NewTimer(f.deliver)
+		return f
+	}
+	l.flightFree = f.next
+	f.next = nil
+	return f
+}
+
+// deliver fires when the packet finishes propagating. The flight record
+// is recycled before the downstream Receive so a re-entrant transmit
+// can reuse it immediately.
+func (f *flight) deliver() {
+	l, p, flapsAtTx := f.l, f.p, f.flapsAtTx
+	f.p = nil
+	f.next = l.flightFree
+	l.flightFree = f
+	if l.flaps != flapsAtTx {
+		l.dropInFlight(p)
 		return
 	}
-	if _, err := l.sched.Schedule(txDelay, l.transmitNext); err != nil {
-		l.busy = false
-	}
+	l.Dst.Receive(p)
 }
 
 // dropInFlight accounts for a wire packet lost to a link flap.
 func (l *Link) dropInFlight(p *Packet) {
 	l.FaultDrops++
-	if !l.bus.Enabled() {
-		return
+	if l.bus.Enabled() {
+		l.bus.Publish(telemetry.Event{
+			At:   l.sched.Now(),
+			Comp: telemetry.CompLink,
+			Kind: telemetry.KDrop,
+			Src:  l.name,
+			Flow: int32(p.Flow),
+			Seq:  p.Seq,
+			B:    1,
+		})
 	}
-	l.bus.Publish(telemetry.Event{
-		At:   l.sched.Now(),
-		Comp: telemetry.CompLink,
-		Kind: telemetry.KDrop,
-		Src:  l.name,
-		Flow: int32(p.Flow),
-		Seq:  p.Seq,
-		B:    1,
-	})
+	p.Release()
 }
 
 // Queue wraps a QueueDiscipline with occupancy accounting shared by all
@@ -268,6 +310,11 @@ type Queue struct {
 	disc  QueueDiscipline
 	sched *sim.Scheduler
 
+	// idle and red cache the discipline's optional interfaces, hoisting
+	// the per-packet type assertions out of the hot path.
+	idle idleMarker
+	red  *REDQueue
+
 	bus  *telemetry.Bus
 	name string
 
@@ -275,6 +322,14 @@ type Queue struct {
 	Drops uint64
 	// Enqueued counts packets accepted.
 	Enqueued uint64
+}
+
+// newQueue wraps a discipline, caching its optional capabilities.
+func newQueue(disc QueueDiscipline, sched *sim.Scheduler) *Queue {
+	q := &Queue{disc: disc, sched: sched}
+	q.idle, _ = disc.(idleMarker)
+	q.red, _ = disc.(*REDQueue)
+	return q
 }
 
 // Instrument attaches the telemetry bus under the given instance name.
@@ -301,12 +356,13 @@ func (q *Queue) enqueue(p *Packet) bool {
 				A:    float64(q.disc.Len()),
 				B:    1,
 			}
-			if red, ok := q.disc.(*REDQueue); ok && red.lastDropEarly {
+			if q.red != nil && q.red.lastDropEarly {
 				ev.Kind = telemetry.KMark
-				ev.B = red.AvgQueue()
+				ev.B = q.red.AvgQueue()
 			}
 			q.bus.Publish(ev)
 		}
+		p.Release()
 		return false
 	}
 	q.Enqueued++
@@ -332,10 +388,8 @@ type idleMarker interface {
 
 func (q *Queue) dequeue() *Packet {
 	p := q.disc.Dequeue()
-	if q.disc.Len() == 0 {
-		if m, ok := q.disc.(idleMarker); ok {
-			m.MarkIdle(q.sched.Now())
-		}
+	if q.idle != nil && q.disc.Len() == 0 {
+		q.idle.MarkIdle(q.sched.Now())
 	}
 	return p
 }

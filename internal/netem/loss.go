@@ -91,6 +91,7 @@ func (u *UniformLoss) Receive(p *Packet) {
 	if eligible && u.rng.Float64() < u.Rate {
 		u.Dropped++
 		u.emitDrop(p)
+		p.Release()
 		return
 	}
 	u.Forwarded++
@@ -185,6 +186,7 @@ func (s *SeqLoss) Receive(p *Packet) {
 			delete(set, p.AckNo)
 			s.Dropped++
 			s.emitDrop(p)
+			p.Release()
 			return
 		}
 	}
@@ -197,6 +199,7 @@ func (s *SeqLoss) Receive(p *Packet) {
 			delete(set, p.Seq)
 			s.Dropped++
 			s.emitDrop(p)
+			p.Release()
 			return
 		}
 	}

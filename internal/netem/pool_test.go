@@ -1,0 +1,92 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"rrtcp/internal/sim"
+)
+
+func TestPacketPoolRecycles(t *testing.T) {
+	var pp PacketPool
+	p := pp.Get()
+	p.Seq = 42
+	p.SACK = append(p.SACK, SACKBlock{Start: 1, End: 2})
+	p.Release()
+	q := pp.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the released packet")
+	}
+	if q.Seq != 0 || len(q.SACK) != 0 {
+		t.Fatalf("recycled packet not reset: %+v", q)
+	}
+	if cap(q.SACK) == 0 {
+		t.Fatal("recycled packet lost its SACK backing array")
+	}
+	if pp.Gets != 2 || pp.Hits != 1 {
+		t.Fatalf("counters Gets=%d Hits=%d, want 2/1", pp.Gets, pp.Hits)
+	}
+}
+
+func TestPacketPoolNilSafe(t *testing.T) {
+	var pp *PacketPool
+	p := pp.Get()
+	if p == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	p.Release() // non-pooled packet: must be a no-op
+	var orphan Packet
+	orphan.Release()
+}
+
+func TestPacketPoolDoubleReleaseIsNoOp(t *testing.T) {
+	var pp PacketPool
+	p := pp.Get()
+	p.Release()
+	p.Release()
+	if len(pp.free) != 1 {
+		t.Fatalf("double release grew the free list to %d", len(pp.free))
+	}
+}
+
+// TestPacketPoolSteadyStateZeroAlloc asserts the pooling contract of
+// the zero-alloc campaign: a warm Get/Release cycle allocates nothing.
+func TestPacketPoolSteadyStateZeroAlloc(t *testing.T) {
+	var pp PacketPool
+	pp.Get().Release() // warm: one packet in the free list
+	avg := testing.AllocsPerRun(100, func() {
+		p := pp.Get()
+		p.Seq = 7
+		p.Release()
+	})
+	if avg != 0 {
+		t.Fatalf("warm Get/Release allocates %.2f allocs/run, want 0", avg)
+	}
+}
+
+// TestLinkSteadyStateZeroAlloc drives pooled packets through a link
+// (serialization timer, flight pool, queue ring) and asserts the whole
+// transmission path allocates nothing once warm.
+func TestLinkSteadyStateZeroAlloc(t *testing.T) {
+	s := sim.NewScheduler(1)
+	var pp PacketPool
+	sink := NodeFunc(func(p *Packet) { p.Release() })
+	l := Must(NewLink(s, 8e6, time.Millisecond, Must(NewDropTail(64)), sink))
+
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			p := pp.Get()
+			p.Kind = Data
+			p.Len = 1000
+			p.Size = 1000
+			l.Receive(p)
+			s.Run(s.Now() + 5*time.Millisecond)
+		}
+	}
+	send(32) // warm: pool, flight free list, heap, queue ring
+
+	avg := testing.AllocsPerRun(20, func() { send(10) })
+	if avg != 0 {
+		t.Fatalf("warm link transmission allocates %.2f allocs/run, want 0", avg)
+	}
+}

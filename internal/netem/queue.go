@@ -20,12 +20,52 @@ type QueueDiscipline interface {
 	Len() int
 }
 
+// pktRing is a growable circular FIFO of packets. Unlike a slice-of-
+// packets FIFO advanced with fifo[1:], it reuses its backing array
+// forever: steady-state enqueue/dequeue traffic allocates nothing.
+type pktRing struct {
+	buf  []*Packet // capacity always a power of two (or empty)
+	head int
+	n    int
+}
+
+func (r *pktRing) push(p *Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = p
+	r.n++
+}
+
+func (r *pktRing) pop() *Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *pktRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]*Packet, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}
+
 // DropTail is a finite FIFO measured in packets, as in the paper's
 // Table 3 ("window size and buffer space at the gateways are measured
 // in number of fixed-size packets").
 type DropTail struct {
 	limit int
-	fifo  []*Packet
+	fifo  pktRing
 }
 
 var _ QueueDiscipline = (*DropTail)(nil)
@@ -43,26 +83,18 @@ func NewDropTail(limit int) (*DropTail, error) {
 
 // Enqueue implements QueueDiscipline.
 func (d *DropTail) Enqueue(p *Packet, _ sim.Time) bool {
-	if len(d.fifo) >= d.limit {
+	if d.fifo.n >= d.limit {
 		return false
 	}
-	d.fifo = append(d.fifo, p)
+	d.fifo.push(p)
 	return true
 }
 
 // Dequeue implements QueueDiscipline.
-func (d *DropTail) Dequeue() *Packet {
-	if len(d.fifo) == 0 {
-		return nil
-	}
-	p := d.fifo[0]
-	d.fifo[0] = nil
-	d.fifo = d.fifo[1:]
-	return p
-}
+func (d *DropTail) Dequeue() *Packet { return d.fifo.pop() }
 
 // Len implements QueueDiscipline.
-func (d *DropTail) Len() int { return len(d.fifo) }
+func (d *DropTail) Len() int { return d.fifo.n }
 
 // Limit reports the configured packet limit.
 func (d *DropTail) Limit() int { return d.limit }
@@ -111,7 +143,7 @@ func PaperREDConfig() REDConfig {
 type REDQueue struct {
 	cfg  REDConfig
 	rng  *rand.Rand
-	fifo []*Packet
+	fifo pktRing
 
 	avg       float64
 	count     int // packets since last drop while in the random region
@@ -164,7 +196,7 @@ func (r *REDQueue) AvgQueue() float64 { return r.avg }
 func (r *REDQueue) Enqueue(p *Packet, now sim.Time) bool {
 	r.updateAverage(now)
 	switch {
-	case len(r.fifo) >= r.cfg.Limit:
+	case r.fifo.n >= r.cfg.Limit:
 		r.ForcedDrops++
 		r.count = 0
 		r.lastDropEarly = false
@@ -193,13 +225,13 @@ func (r *REDQueue) Enqueue(p *Packet, now sim.Time) bool {
 	default:
 		r.count = -1
 	}
-	r.fifo = append(r.fifo, p)
+	r.fifo.push(p)
 	return true
 }
 
 func (r *REDQueue) updateAverage(now sim.Time) {
-	if len(r.fifo) > 0 || !r.idle {
-		r.avg = (1-r.cfg.QueueWeight)*r.avg + r.cfg.QueueWeight*float64(len(r.fifo))
+	if r.fifo.n > 0 || !r.idle {
+		r.avg = (1-r.cfg.QueueWeight)*r.avg + r.cfg.QueueWeight*float64(r.fifo.n)
 		return
 	}
 	// Queue has been idle: age the average as if m small packets had
@@ -213,22 +245,16 @@ func (r *REDQueue) updateAverage(now sim.Time) {
 		}
 	}
 	r.idle = false
-	r.avg = (1-r.cfg.QueueWeight)*r.avg + r.cfg.QueueWeight*float64(len(r.fifo))
+	r.avg = (1-r.cfg.QueueWeight)*r.avg + r.cfg.QueueWeight*float64(r.fifo.n)
 }
 
 // Dequeue implements QueueDiscipline.
 func (r *REDQueue) Dequeue() *Packet {
-	if len(r.fifo) == 0 {
-		return nil
-	}
-	p := r.fifo[0]
-	r.fifo[0] = nil
-	r.fifo = r.fifo[1:]
-	if len(r.fifo) == 0 {
+	p := r.fifo.pop()
+	if p != nil && r.fifo.n == 0 {
 		r.idle = true
-		// idleSince is stamped lazily by the caller-side clock at next
-		// enqueue; record via marker. Without scheduler access here we
-		// approximate: updateAverage uses idleSince set below.
+		// idleSince is stamped by MarkIdle, which the owning Queue calls
+		// with the scheduler clock right after draining.
 	}
 	return p
 }
@@ -236,11 +262,11 @@ func (r *REDQueue) Dequeue() *Packet {
 // MarkIdle records the instant the queue went empty; the Link calls
 // this so idle aging has a timestamp. Safe to call at any time.
 func (r *REDQueue) MarkIdle(now sim.Time) {
-	if len(r.fifo) == 0 {
+	if r.fifo.n == 0 {
 		r.idle = true
 		r.idleSince = now
 	}
 }
 
 // Len implements QueueDiscipline.
-func (r *REDQueue) Len() int { return len(r.fifo) }
+func (r *REDQueue) Len() int { return r.fifo.n }

@@ -83,6 +83,8 @@ func (t *Tap) Receive(p *Packet) {
 	}
 	if t.dst != nil {
 		t.dst.Receive(p)
+	} else {
+		p.Release()
 	}
 }
 

@@ -10,23 +10,49 @@ import (
 
 // Demux routes packets to per-flow destinations; it models the routing
 // step at a gateway fanning out to the receiver (or sender) hosts.
+// Routing is a dense-slice lookup indexed by flow ID — flow IDs are
+// small topology slot numbers — with a map fallback for any outliers.
 type Demux struct {
-	dst map[int]Node
+	dst      []Node
+	overflow map[int]Node
 }
 
 var _ Node = (*Demux)(nil)
 
+// demuxDenseMax bounds how large a flow ID the dense table will grow
+// for; anything larger routes through the overflow map.
+const demuxDenseMax = 1 << 16
+
 // NewDemux returns an empty router.
-func NewDemux() *Demux { return &Demux{dst: make(map[int]Node)} }
+func NewDemux() *Demux { return &Demux{} }
 
 // Route binds a flow ID to a destination node.
-func (d *Demux) Route(flow int, dst Node) { d.dst[flow] = dst }
+func (d *Demux) Route(flow int, dst Node) {
+	if flow >= 0 && flow < demuxDenseMax {
+		for len(d.dst) <= flow {
+			d.dst = append(d.dst, nil)
+		}
+		d.dst[flow] = dst
+		return
+	}
+	if d.overflow == nil {
+		d.overflow = make(map[int]Node)
+	}
+	d.overflow[flow] = dst
+}
 
 // Receive implements Node; packets for unknown flows are dropped.
 func (d *Demux) Receive(p *Packet) {
-	if dst, ok := d.dst[p.Flow]; ok {
+	if uint(p.Flow) < uint(len(d.dst)) {
+		if dst := d.dst[p.Flow]; dst != nil {
+			dst.Receive(p)
+			return
+		}
+	} else if dst, ok := d.overflow[p.Flow]; ok {
 		dst.Receive(p)
+		return
 	}
+	p.Release()
 }
 
 // DumbbellConfig describes the Figure 4 topology: n sender hosts S_i
@@ -93,7 +119,16 @@ type Dumbbell struct {
 	// of them); side links feed into these.
 	fwdEntry Node
 	revEntry Node
+
+	// pool recycles the topology's packets; the endpoints installed on
+	// the dumbbell allocate from and release to it.
+	pool PacketPool
 }
+
+// Pool returns the topology's packet pool. Endpoints wired onto the
+// dumbbell draw their packets from it so steady-state traffic allocates
+// nothing; every drop or consumption site releases back into it.
+func (d *Dumbbell) Pool() *PacketPool { return &d.pool }
 
 // NewDumbbell wires up the topology on the given scheduler.
 func NewDumbbell(sched *sim.Scheduler, cfg DumbbellConfig) (*Dumbbell, error) {

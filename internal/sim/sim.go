@@ -3,10 +3,18 @@
 // simultaneous events, cancellable timers, and a seedable random-number
 // source. It is the substrate on which the network and TCP models run,
 // playing the role ns-2's scheduler plays in the paper's evaluation.
+//
+// The event queue is an index-based 4-ary min-heap over an arena of
+// value slots with free-list recycling: scheduling, firing, and
+// cancelling events allocate nothing in steady state, and cancel is
+// O(log n) via the slot's tracked heap position. The preferred
+// scheduling surface is the reusable-timer API (Scheduler.NewTimer plus
+// Timer.At/Reset/Stop, mirroring time.Timer); the closure-based
+// Schedule/At calls remain as thin deprecated shims that allocate a
+// handle per call.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -45,73 +53,50 @@ func GlobalCounters() (events, packets uint64) {
 // the simulation. The zero Time is the simulation epoch.
 type Time = time.Duration
 
-// Event is a unit of scheduled work. Events are ordered by time; events
-// scheduled for the same instant run in scheduling order.
-type Event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
-}
-
-// At reports the instant the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
-
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e.dead }
-
-// eventHeap orders events by (time, sequence) so that simultaneous
-// events fire in the order they were scheduled.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
 // ErrScheduleInPast is returned when an event is scheduled before the
 // current simulated time.
 var ErrScheduleInPast = errors.New("sim: event scheduled in the past")
+
+// heapEntry is one pending event in the priority queue. Entries are
+// pure values (no pointers), so sift operations move them without
+// write barriers; idx names the arena slot holding the handler.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
+// timerSlot is one arena cell. Timer-owned slots are persistent: the
+// handler is written once at NewTimer and the slot is never recycled,
+// so arming and firing touch only pointer-free fields (no write
+// barriers on the hot path). One-shot slots backing the deprecated
+// Schedule/At shims recycle through the free list the moment they fire
+// or are cancelled; gen increments on every recycle so stale Event
+// handles can detect reuse.
+type timerSlot struct {
+	fn       func()
+	at       Time
+	gen      uint64
+	heapPos  int32
+	nextFree int32
+	oneShot  bool
+}
 
 // Scheduler owns the virtual clock and the pending event set. The zero
 // value is not usable; construct one with NewScheduler.
 type Scheduler struct {
 	now     Time
-	queue   eventHeap
 	nextSeq uint64
 	stopped bool
 	seed    int64
 	rng     *rand.Rand
+
+	// Event queue: 4-ary min-heap of value entries ordered by
+	// (time, sequence), over an arena of recycled handler slots.
+	heap      []heapEntry
+	slots     []timerSlot
+	freeHead  int32
+	highWater int
 
 	// Processed counts events that have fired, for diagnostics.
 	processed uint64
@@ -130,7 +115,7 @@ type Scheduler struct {
 // random source is seeded with the given seed. All randomness used by a
 // simulation must flow through Rand so that runs are reproducible.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed)), freeHead: -1}
 }
 
 // Now reports the current simulated time.
@@ -160,10 +145,15 @@ func (s *Scheduler) DeriveRand(tag string) *rand.Rand {
 }
 
 // Pending reports the number of events waiting to fire.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // Processed reports the number of events that have fired so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// HeapHighWater reports the deepest the pending-event heap has been
+// over the scheduler's lifetime — the working-set figure the headline
+// benchmarks publish alongside throughput.
+func (s *Scheduler) HeapHighWater() int { return s.highWater }
 
 // SetProfileHook installs fn to be called every `every` processed
 // events with the current time, the total processed count, and the
@@ -196,33 +186,225 @@ func (s *Scheduler) SetGuard(fn func(now Time, processed uint64, pending int) er
 // inspect it after a multi-phase simulation.
 func (s *Scheduler) GuardErr() error { return s.guardErr }
 
+// ---- heap + arena internals -------------------------------------------------
+
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		s.slots[h[i].idx].heapPos = int32(i)
+		i = p
+	}
+	h[i] = e
+	s.slots[e.idx].heapPos = int32(i)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !entryLess(h[best], e) {
+			break
+		}
+		h[i] = h[best]
+		s.slots[h[i].idx].heapPos = int32(i)
+		i = best
+	}
+	h[i] = e
+	s.slots[e.idx].heapPos = int32(i)
+}
+
+func (s *Scheduler) heapPush(e heapEntry) {
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap) - 1)
+	if len(s.heap) > s.highWater {
+		s.highWater = len(s.heap)
+	}
+}
+
+// heapPop removes and returns the minimum entry. The caller is
+// responsible for recycling the entry's slot.
+func (s *Scheduler) heapPop() heapEntry {
+	h := s.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 0 {
+		s.slots[s.heap[0].idx].heapPos = 0
+		s.siftDown(0)
+	}
+	return top
+}
+
+// heapRemove deletes the entry at heap position pos (a cancel).
+func (s *Scheduler) heapRemove(pos int) {
+	h := s.heap
+	n := len(h) - 1
+	s.heap = h[:n]
+	if pos == n {
+		return
+	}
+	moved := h[n]
+	h[pos] = moved
+	s.slots[moved.idx].heapPos = int32(pos)
+	s.siftDown(pos)
+	if s.heap[pos].idx == moved.idx {
+		s.siftUp(pos)
+	}
+}
+
+func (s *Scheduler) allocSlot(fn func(), oneShot bool) int32 {
+	var i int32
+	if s.freeHead >= 0 {
+		i = s.freeHead
+		s.freeHead = s.slots[i].nextFree
+	} else {
+		s.slots = append(s.slots, timerSlot{})
+		i = int32(len(s.slots) - 1)
+	}
+	sl := &s.slots[i]
+	sl.fn = fn
+	sl.heapPos = -1
+	sl.nextFree = -1
+	sl.oneShot = oneShot
+	return i
+}
+
+// freeSlot recycles a slot onto the free list, bumping its generation
+// so outstanding handles observe the slot as no longer theirs.
+func (s *Scheduler) freeSlot(i int32) {
+	sl := &s.slots[i]
+	sl.fn = nil
+	sl.gen++
+	sl.heapPos = -1
+	sl.nextFree = s.freeHead
+	s.freeHead = i
+}
+
+// armSlot enqueues slot i's handler at absolute instant t, consuming
+// one sequence number. A slot that is already pending is re-keyed in
+// place — one sift instead of a remove-then-push — which is safe for
+// determinism because heap pop order depends only on the (time, seq)
+// keys of the live entries, never on how they got there.
+func (s *Scheduler) armSlot(i int32, t Time) error {
+	if t < s.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrScheduleInPast, t, s.now)
+	}
+	sl := &s.slots[i]
+	sl.at = t
+	seq := s.nextSeq
+	s.nextSeq++
+	if pos := sl.heapPos; pos >= 0 {
+		old := s.heap[pos]
+		s.heap[pos] = heapEntry{at: t, seq: seq, idx: i}
+		// seq only ever grows, so the new key moves toward the leaves
+		// unless the time moved strictly earlier.
+		if t < old.at {
+			s.siftUp(int(pos))
+		} else {
+			s.siftDown(int(pos))
+		}
+		return nil
+	}
+	s.heapPush(heapEntry{at: t, seq: seq, idx: i})
+	return nil
+}
+
+// disarm cancels the pending event in slot i if the generation still
+// matches; otherwise (already fired, cancelled, or recycled) it is a
+// no-op.
+func (s *Scheduler) disarm(i int32, gen uint64) {
+	if i < 0 || int(i) >= len(s.slots) {
+		return
+	}
+	sl := &s.slots[i]
+	if sl.gen != gen || sl.heapPos < 0 {
+		return
+	}
+	s.heapRemove(int(sl.heapPos))
+	s.freeSlot(i)
+}
+
+// ---- deprecated closure-scheduling shim -------------------------------------
+
+// Event is a cancellation handle for a closure scheduled through the
+// deprecated Schedule/At shims. Events are ordered by time; events
+// scheduled for the same instant run in scheduling order.
+//
+// Deprecated: new code should hold a *Timer from Scheduler.NewTimer,
+// which is reusable and allocation-free to arm.
+type Event struct {
+	s   *Scheduler
+	at  Time
+	idx int32
+	gen uint64
+}
+
+// At reports the instant the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has fired or been cancelled.
+func (e *Event) Cancelled() bool {
+	return e.idx < 0 || int(e.idx) >= len(e.s.slots) || e.s.slots[e.idx].gen != e.gen
+}
+
 // Schedule enqueues fn to run after delay and returns a handle that can
 // cancel it. A negative delay returns ErrScheduleInPast.
+//
+// Deprecated: use Scheduler.NewTimer with Timer.Reset; it reuses one
+// timer object across arms instead of allocating a handle per call.
 func (s *Scheduler) Schedule(delay Time, fn func()) (*Event, error) {
 	return s.At(s.now+delay, fn)
 }
 
 // At enqueues fn to run at the absolute instant t.
+//
+// Deprecated: use Scheduler.NewTimer with Timer.At.
 func (s *Scheduler) At(t Time, fn func()) (*Event, error) {
-	if t < s.now {
-		return nil, fmt.Errorf("%w: at=%v now=%v", ErrScheduleInPast, t, s.now)
+	i := s.allocSlot(fn, true)
+	if err := s.armSlot(i, t); err != nil {
+		s.freeSlot(i)
+		return nil, err
 	}
-	e := &Event{at: t, seq: s.nextSeq, fn: fn}
-	s.nextSeq++
-	heap.Push(&s.queue, e)
-	return e, nil
+	return &Event{s: s, at: t, idx: i, gen: s.slots[i].gen}, nil
 }
 
 // Cancel removes an event from the queue. Cancelling a nil, fired, or
 // already-cancelled event is a no-op.
 func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.dead {
+	if e == nil {
 		return
 	}
-	e.dead = true
-	if e.idx >= 0 && e.idx < s.queue.Len() && s.queue[e.idx] == e {
-		heap.Remove(&s.queue, e.idx)
-	}
+	s.disarm(e.idx, e.gen)
+	e.idx = -1
 }
 
 // Stop makes the current Run call return after the in-flight event.
@@ -249,32 +431,33 @@ func (s *Scheduler) run(until Time, advanceClock bool) {
 			globalEvents.Add(batch)
 		}
 	}()
-	for s.queue.Len() > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.at > until {
+	for len(s.heap) > 0 && !s.stopped {
+		if s.heap[0].at > until {
 			s.now = until
 			return
 		}
-		popped, ok := heap.Pop(&s.queue).(*Event)
-		if !ok {
-			continue
+		top := s.heapPop()
+		sl := &s.slots[top.idx]
+		fn := sl.fn
+		s.now = top.at
+		if sl.oneShot {
+			s.freeSlot(top.idx)
+		} else {
+			// Persistent timer slot: mark it idle so the handler can
+			// re-arm; fn stays in place for the timer's next arm.
+			sl.heapPos = -1
 		}
-		if popped.dead {
-			continue
-		}
-		s.now = popped.at
-		popped.dead = true
 		s.processed++
 		if batch++; batch == globalFlushEvery {
 			globalEvents.Add(batch)
 			batch = 0
 		}
-		popped.fn()
+		fn()
 		if s.profHook != nil && s.processed%s.profEvery == 0 {
-			s.profHook(s.now, s.processed, s.queue.Len())
+			s.profHook(s.now, s.processed, len(s.heap))
 		}
 		if s.guard != nil {
-			if err := s.guard(s.now, s.processed, s.queue.Len()); err != nil {
+			if err := s.guard(s.now, s.processed, len(s.heap)); err != nil {
 				s.guardErr = err
 				s.stopped = true
 			}
@@ -285,53 +468,76 @@ func (s *Scheduler) run(until Time, advanceClock bool) {
 	}
 }
 
-// Timer is a restartable one-shot timer bound to a scheduler, the
-// building block for TCP retransmission timers.
+// ---- reusable timers --------------------------------------------------------
+
+// Timer is a restartable one-shot timer bound to a scheduler — the
+// building block for TCP retransmission timers and every other
+// recurring event source. A Timer is created once with its handler and
+// re-armed any number of times; arming allocates nothing, because the
+// pending event lives in a recycled scheduler arena slot. Timers mirror
+// time.Timer: At/Reset arm, Stop disarms, and an expired timer simply
+// reads as not Armed until re-armed (the handler does not need to touch
+// the timer).
 type Timer struct {
-	sched *Scheduler
-	ev    *Event
-	fn    func()
+	s    *Scheduler
+	slot int32
 }
 
-// NewTimer returns a stopped timer that runs fn when it expires.
+// NewTimer returns a stopped timer that runs fn when it expires. The
+// timer owns its arena slot for the scheduler's lifetime, so create
+// timers per long-lived event source (or pool them), not per arm.
+func (s *Scheduler) NewTimer(fn func()) *Timer {
+	return &Timer{s: s, slot: s.allocSlot(fn, false)}
+}
+
+// NewTimer returns a stopped timer bound to s that runs fn when it
+// expires.
+//
+// Deprecated: use Scheduler.NewTimer.
 func NewTimer(s *Scheduler, fn func()) *Timer {
-	return &Timer{sched: s, fn: fn}
+	return s.NewTimer(fn)
+}
+
+// At arms the timer to fire at the absolute instant at, replacing any
+// pending expiry. Arming before the current simulated time returns
+// ErrScheduleInPast and leaves the timer stopped.
+func (t *Timer) At(at Time) error {
+	if err := t.s.armSlot(t.slot, at); err != nil {
+		t.Stop()
+		return err
+	}
+	return nil
 }
 
 // Reset (re)arms the timer to fire after d, replacing any pending
 // expiry. A negative d is clamped to zero.
 func (t *Timer) Reset(d Time) {
-	t.Stop()
 	if d < 0 {
 		d = 0
 	}
-	ev, err := t.sched.Schedule(d, t.expire)
-	if err != nil {
+	t.At(t.s.now + d) //nolint:errcheck // now+d with d >= 0 is never in the past
+}
+
+// Stop disarms the timer if it is pending. Stopping an expired or
+// already-stopped timer is a no-op.
+func (t *Timer) Stop() {
+	sl := &t.s.slots[t.slot]
+	if sl.heapPos < 0 {
 		return
 	}
-	t.ev = ev
-}
-
-func (t *Timer) expire() {
-	t.ev = nil
-	t.fn()
-}
-
-// Stop disarms the timer if it is pending.
-func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.sched.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.s.heapRemove(int(sl.heapPos))
+	sl.heapPos = -1
 }
 
 // Armed reports whether the timer is pending.
-func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+func (t *Timer) Armed() bool {
+	return t.s.slots[t.slot].heapPos >= 0
+}
 
 // ExpiresAt reports when the timer will fire; valid only when Armed.
 func (t *Timer) ExpiresAt() Time {
-	if t.ev == nil {
+	if !t.Armed() {
 		return 0
 	}
-	return t.ev.At()
+	return t.s.slots[t.slot].at
 }

@@ -42,6 +42,10 @@ type Receiver struct {
 	unacked  int // in-order segments received since the last ACK
 	ackTimer *sim.Timer
 
+	// Pool, when non-nil, supplies outgoing ACKs and receives every
+	// consumed data packet back.
+	Pool *netem.PacketPool
+
 	tr *trace.FlowTrace
 
 	// Telemetry, when non-nil, receives the receiver's delivery events.
@@ -72,7 +76,7 @@ func NewReceiver(sched *sim.Scheduler, flow int, out netem.Node, tr *trace.FlowT
 		AckDelay: 200 * time.Millisecond,
 		tr:       tr,
 	}
-	r.ackTimer = sim.NewTimer(sched, r.flushAck)
+	r.ackTimer = sched.NewTimer(r.flushAck)
 	return r
 }
 
@@ -94,6 +98,7 @@ func (r *Receiver) OutOfOrderBlocks() []netem.SACKBlock {
 
 // Receive implements netem.Node for data packets.
 func (r *Receiver) Receive(p *netem.Packet) {
+	defer p.Release() // the receiver buffers ranges, never packets
 	if p.Kind != netem.Data || p.Flow != r.flow {
 		return
 	}
@@ -203,29 +208,35 @@ func (r *Receiver) dropRecent(b seqRange) {
 }
 
 func (r *Receiver) sendAck() {
-	ack := &netem.Packet{
-		ID:    netem.NextID(),
-		Flow:  r.flow,
-		Kind:  netem.Ack,
-		AckNo: r.rcvNxt,
-		Size:  r.AckSize,
-	}
+	ack := r.Pool.Get()
+	ack.ID = netem.NextID()
+	ack.Flow = r.flow
+	ack.Kind = netem.Ack
+	ack.AckNo = r.rcvNxt
+	ack.Size = r.AckSize
 	if r.SACKEnabled {
-		ack.SACK = r.sackBlocks()
+		ack.SACK = r.appendSACKBlocks(ack.SACK[:0])
 	}
 	r.out.Receive(ack)
 }
 
-// sackBlocks returns up to three blocks, most recently changed first,
-// per RFC 2018's reporting rules.
-func (r *Receiver) sackBlocks() []netem.SACKBlock {
-	var out []netem.SACKBlock
-	seen := make(map[seqRange]bool, 3)
+// appendSACKBlocks appends up to three blocks to dst, most recently
+// changed first, per RFC 2018's reporting rules. Appending into the
+// caller's (recycled) slice keeps steady-state ACK generation
+// allocation-free.
+func (r *Receiver) appendSACKBlocks(dst []netem.SACKBlock) []netem.SACKBlock {
+	var seen [3]seqRange // at most three reported blocks to dedup against
+	out := dst
 	appendBlock := func(q seqRange) {
-		if len(out) >= 3 || seen[q] {
+		if len(out)-len(dst) >= 3 {
 			return
 		}
-		seen[q] = true
+		for i := 0; i < len(out)-len(dst); i++ {
+			if seen[i] == q {
+				return
+			}
+		}
+		seen[len(out)-len(dst)] = q
 		out = append(out, netem.SACKBlock{Start: q.Start, End: q.End})
 	}
 	for _, q := range r.recent {

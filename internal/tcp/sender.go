@@ -85,6 +85,10 @@ type Config struct {
 	Telemetry *telemetry.Bus
 	// OnDone runs when the transfer completes (all bytes acked).
 	OnDone func()
+	// Pool, when non-nil, supplies outgoing packets and receives every
+	// consumed ACK back; topologies share one pool across their
+	// endpoints so steady-state traffic allocates no packets.
+	Pool *netem.PacketPool
 }
 
 func (c *Config) fillDefaults() {
@@ -124,6 +128,9 @@ type Sender struct {
 	rtxTimer   *sim.Timer
 	rtoBackoff uint
 
+	pool       *netem.PacketPool
+	startTimer *sim.Timer
+
 	// Karn's algorithm: one outstanding RTT measurement at a time,
 	// invalidated by retransmission of the timed segment.
 	rttSeq     int64
@@ -149,10 +156,12 @@ func New(sched *sim.Scheduler, out netem.Node, strat Strategy, cfg Config) (*Sen
 		strat:    strat,
 		tr:       cfg.Trace,
 		bus:      cfg.Telemetry,
+		pool:     cfg.Pool,
 		cwnd:     1,
 		ssthresh: cfg.InitialSSThresh,
 	}
-	s.rtxTimer = sim.NewTimer(sched, s.onTimeout)
+	s.rtxTimer = sched.NewTimer(s.onTimeout)
+	s.startTimer = sched.NewTimer(s.onStart)
 	return s, nil
 }
 
@@ -162,11 +171,13 @@ func (s *Sender) Start(delay sim.Time) error {
 		return fmt.Errorf("tcp: flow %d already started", s.cfg.Flow)
 	}
 	s.started = true
-	_, err := s.sched.Schedule(delay, func() {
-		s.tr.SetStart(s.sched.Now())
-		s.PumpWindow()
-	})
-	return err
+	return s.startTimer.At(s.sched.Now() + delay)
+}
+
+// onStart fires when the configured start delay elapses.
+func (s *Sender) onStart() {
+	s.tr.SetStart(s.sched.Now())
+	s.PumpWindow()
 }
 
 // --- accessors used by strategies and experiments ---
@@ -262,6 +273,9 @@ func (s *Sender) Telemetry() *telemetry.Bus { return s.bus }
 // sender itself uses it for the segment/ACK/timer lifecycle. With no
 // trace and a nil bus it costs two nil checks.
 func (s *Sender) Emit(comp telemetry.Component, kind telemetry.Kind, seq int64, a, b float64) {
+	if s.tr == nil && !s.bus.Enabled() {
+		return
+	}
 	ev := telemetry.Event{
 		At:   s.sched.Now(),
 		Comp: comp,
@@ -297,6 +311,7 @@ func (s *Sender) TotalBytes() int64 { return s.cfg.TotalBytes }
 
 // Receive implements netem.Node for the sender side: it consumes ACKs.
 func (s *Sender) Receive(p *netem.Packet) {
+	defer p.Release() // strategies copy what they keep of the ACK
 	if s.done || p.Kind != netem.Ack || p.Flow != s.cfg.Flow {
 		return
 	}
@@ -461,15 +476,14 @@ func (s *Sender) Retransmit(seq int64) {
 }
 
 func (s *Sender) transmit(seq int64, n int, rtx bool) {
-	p := &netem.Packet{
-		ID:         netem.NextID(),
-		Flow:       s.cfg.Flow,
-		Kind:       netem.Data,
-		Seq:        seq,
-		Len:        n,
-		Size:       n,
-		Retransmit: rtx,
-	}
+	p := s.pool.Get()
+	p.ID = netem.NextID()
+	p.Flow = s.cfg.Flow
+	p.Kind = netem.Data
+	p.Seq = seq
+	p.Len = n
+	p.Size = n
+	p.Retransmit = rtx
 	if rtx {
 		s.Emit(telemetry.CompSender, telemetry.KRetransmit, seq, 0, 0)
 	} else {

@@ -28,6 +28,7 @@ type Sampler struct {
 	sched *sim.Scheduler
 	bus   *Bus
 	every sim.Time
+	timer *sim.Timer
 
 	flows []samplerFlow
 	insts []samplerInst
@@ -82,7 +83,10 @@ func (s *Sampler) Start() {
 }
 
 func (s *Sampler) schedule() {
-	s.sched.Schedule(s.every, s.tick) //nolint:errcheck // delay > 0 never lands in the past
+	if s.timer == nil {
+		s.timer = s.sched.NewTimer(s.tick)
+	}
+	s.timer.Reset(s.every)
 }
 
 func (s *Sampler) tick() {

@@ -353,6 +353,9 @@ type Sink interface {
 // instrumented hot paths then cost one nil check per event site.
 type Bus struct {
 	sinks []Sink
+	// on caches len(sinks) > 0 so Enabled is a single flag load — the
+	// hot-path publish gate instrumented code checks per event.
+	on bool
 }
 
 // NewBus returns a bus with the given initial subscribers.
@@ -370,11 +373,12 @@ func (b *Bus) Subscribe(s Sink) {
 		return
 	}
 	b.sinks = append(b.sinks, s)
+	b.on = true
 }
 
 // Enabled reports whether publishing reaches any sink; hot paths can
 // use it to skip building expensive events.
-func (b *Bus) Enabled() bool { return b != nil && len(b.sinks) > 0 }
+func (b *Bus) Enabled() bool { return b != nil && b.on }
 
 // Publish delivers ev to every subscriber, in subscription order.
 func (b *Bus) Publish(ev Event) {

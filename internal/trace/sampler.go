@@ -10,6 +10,7 @@ type Sampler struct {
 	sched    *sim.Scheduler
 	interval sim.Time
 	probe    func() float64
+	timer    *sim.Timer
 
 	points  []Point
 	stopped bool
@@ -20,13 +21,14 @@ func NewSampler(sched *sim.Scheduler, interval sim.Time, probe func() float64) *
 	if interval <= 0 {
 		interval = 1
 	}
-	return &Sampler{sched: sched, interval: interval, probe: probe}
+	s := &Sampler{sched: sched, interval: interval, probe: probe}
+	s.timer = sched.NewTimer(s.tick)
+	return s
 }
 
 // Start schedules the first poll one interval from now.
 func (s *Sampler) Start() error {
-	_, err := s.sched.Schedule(s.interval, s.tick)
-	return err
+	return s.timer.At(s.sched.Now() + s.interval)
 }
 
 func (s *Sampler) tick() {
@@ -37,9 +39,7 @@ func (s *Sampler) tick() {
 		X: s.sched.Now().Seconds(),
 		Y: s.probe(),
 	})
-	if _, err := s.sched.Schedule(s.interval, s.tick); err != nil {
-		s.stopped = true
-	}
+	s.timer.Reset(s.interval)
 }
 
 // Stop halts polling after the current tick.

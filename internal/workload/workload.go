@@ -198,6 +198,7 @@ func Install(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowSpec) (*
 	recv.SACKEnabled = spec.Kind.NeedsSACKReceiver()
 	recv.DelayedAck = spec.DelayedAck
 	recv.Telemetry = spec.Telemetry
+	recv.Pool = d.Pool()
 	snd, err := tcp.New(sched, d.SenderPort(idx), strat, tcp.Config{
 		Flow:            idx,
 		MSS:             spec.MSS,
@@ -208,6 +209,7 @@ func Install(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowSpec) (*
 		Trace:           tr,
 		Telemetry:       spec.Telemetry,
 		OnDone:          spec.OnDone,
+		Pool:            d.Pool(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("flow %d: %w", idx, err)
@@ -239,6 +241,7 @@ func InstallReverse(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowS
 	recv.SACKEnabled = spec.Kind.NeedsSACKReceiver()
 	recv.DelayedAck = spec.DelayedAck
 	recv.Telemetry = spec.Telemetry
+	recv.Pool = d.Pool()
 	// The sender lives at the K side: its data enters via ReceiverPort.
 	snd, err := tcp.New(sched, d.ReceiverPort(idx), strat, tcp.Config{
 		Flow:            idx,
@@ -250,6 +253,7 @@ func InstallReverse(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowS
 		Trace:           tr,
 		Telemetry:       spec.Telemetry,
 		OnDone:          spec.OnDone,
+		Pool:            d.Pool(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("reverse flow %d: %w", idx, err)

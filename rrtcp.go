@@ -20,134 +20,18 @@
 package rrtcp
 
 import (
-	"io"
-
 	"rrtcp/internal/core"
-	"rrtcp/internal/experiments"
-	"rrtcp/internal/faults"
-	"rrtcp/internal/guard"
-	"rrtcp/internal/invariant"
-	"rrtcp/internal/model"
 	"rrtcp/internal/netem"
-	"rrtcp/internal/obs"
-	"rrtcp/internal/scenario"
-	"rrtcp/internal/sim"
-	"rrtcp/internal/stats"
-	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
-	"rrtcp/internal/telemetry"
 	"rrtcp/internal/trace"
 	"rrtcp/internal/workload"
 )
 
-// --- simulation engine ---
-
-// Scheduler is the deterministic discrete-event engine driving a run.
-type Scheduler = sim.Scheduler
-
-// Time is a simulated instant (an offset from the simulation epoch).
-type Time = sim.Time
-
-// NewScheduler returns an engine with the clock at zero and all
-// randomness derived from seed.
-func NewScheduler(seed int64) *Scheduler { return sim.NewScheduler(seed) }
-
-// --- network elements ---
-
-type (
-	// Packet is a simulated TCP segment or acknowledgment.
-	Packet = netem.Packet
-	// Node consumes packets; all network elements implement it.
-	Node = netem.Node
-	// Link is a point-to-point link with bandwidth and delay.
-	Link = netem.Link
-	// DumbbellConfig describes the paper's Figure 4 topology.
-	DumbbellConfig = netem.DumbbellConfig
-	// Dumbbell is the instantiated n-flow dumbbell network.
-	Dumbbell = netem.Dumbbell
-	// REDConfig carries the RED gateway parameters of Table 4.
-	REDConfig = netem.REDConfig
-	// SACKBlock is a selective-acknowledgment block.
-	SACKBlock = netem.SACKBlock
-)
-
-type (
-	// SeqLoss drops listed (flow, sequence) pairs exactly once — the
-	// deterministic loss patterns behind the Figure 5 scenarios.
-	SeqLoss = netem.SeqLoss
-	// UniformLoss drops data packets i.i.d. with a fixed probability —
-	// the artificial losses of the Figure 7 experiment.
-	UniformLoss = netem.UniformLoss
-)
-
-// NewSeqLoss returns a deterministic loss injector, ready to be placed
-// at the bottleneck via DumbbellConfig.Loss. The scheduler argument is
-// unused (the injector draws no randomness); it is accepted so every
-// loss constructor shares the (scheduler, params...) shape and loss
-// models stay drop-in replacements for each other.
-func NewSeqLoss(_ *Scheduler) *SeqLoss { return netem.NewSeqLoss(nil) }
-
-// NewUniformLoss returns a random loss injector drawing from the
-// scheduler's deterministic random source.
-func NewUniformLoss(s *Scheduler, rate float64) *UniformLoss {
-	return netem.NewUniformLoss(rate, s.Rand(), nil)
-}
-
-// GilbertLoss is the two-state correlated (bursty) loss channel.
-type GilbertLoss = netem.GilbertLoss
-
-// NewGilbertLoss returns a Gilbert-Elliott loss channel; see the netem
-// documentation for the stationary rate and burst-length formulas.
-func NewGilbertLoss(s *Scheduler, pGoodToBad, pBadToGood, pDropBad float64) *GilbertLoss {
-	return netem.NewGilbertLoss(pGoodToBad, pBadToGood, pDropBad, s.Rand(), nil)
-}
-
-// QueueDiscipline is a gateway buffer policy (drop-tail or RED).
-type QueueDiscipline = netem.QueueDiscipline
-
-// NewDropTailQueue returns a finite FIFO measured in packets, or an
-// error for a non-positive limit.
-func NewDropTailQueue(limit int) (QueueDiscipline, error) { return netem.NewDropTail(limit) }
-
-// NewDRRQueue returns a deficit-round-robin fair queue, or an error for
-// non-positive quantum or limit.
-func NewDRRQueue(quantumBytes, limitPackets int) (QueueDiscipline, error) {
-	return netem.NewDRR(quantumBytes, limitPackets)
-}
-
-// NewREDQueue returns a RED gateway queue whose drop decisions draw
-// from the scheduler's deterministic random source, or an error for an
-// unusable configuration (see netem.NewRED).
-func NewREDQueue(s *Scheduler, cfg REDConfig) (QueueDiscipline, error) {
-	return netem.NewRED(cfg, s.Rand())
-}
-
 // Must unwraps any constructor result, panicking on error — for call
 // sites with constant, known-valid parameters:
 //
-//	cfg.ForwardQueue = rrtcp.Must(rrtcp.NewDropTailQueue(25))
+//	cfg.ForwardQueue = rrtcp.Must(rrtcp.NewDropTailQueue(sched, 25))
 func Must[T any](v T, err error) T { return netem.Must(v, err) }
-
-// MustQueue unwraps a queue-constructor result, panicking on error.
-//
-// Deprecated: use the generic Must, which works with every constructor
-// in this package.
-func MustQueue(q QueueDiscipline, err error) QueueDiscipline {
-	return netem.Must(q, err)
-}
-
-// NewDumbbell builds the Figure 4 topology.
-func NewDumbbell(s *Scheduler, cfg DumbbellConfig) (*Dumbbell, error) {
-	return netem.NewDumbbell(s, cfg)
-}
-
-// PaperDropTailConfig returns the Table 3 drop-tail configuration.
-func PaperDropTailConfig(flows int) DumbbellConfig {
-	return netem.PaperDropTailConfig(flows)
-}
-
-// PaperREDConfig returns the Table 4 RED configuration.
-func PaperREDConfig() REDConfig { return netem.PaperREDConfig() }
 
 // --- TCP ---
 
@@ -225,434 +109,3 @@ func InstallFlows(s *Scheduler, d *Dumbbell, specs []FlowSpec) ([]*Flow, error) 
 func InstallReverseFlow(s *Scheduler, d *Dumbbell, idx int, spec FlowSpec) (*Flow, error) {
 	return workload.InstallReverse(s, d, idx, spec)
 }
-
-// --- telemetry (structured events, metrics, sinks) ---
-
-type (
-	// TelemetryBus fans structured simulation events out to sinks. A nil
-	// bus is valid and publishes nothing (the default null sink).
-	TelemetryBus = telemetry.Bus
-	// TelemetryEvent is one structured simulation event.
-	TelemetryEvent = telemetry.Event
-	// TelemetrySink consumes published events.
-	TelemetrySink = telemetry.Sink
-	// TelemetryRing is a bounded in-memory sink, handy in tests.
-	TelemetryRing = telemetry.Ring
-	// NDJSONSink streams events as newline-delimited JSON.
-	NDJSONSink = telemetry.NDJSONSink
-	// MetricsRegistry aggregates counters, gauges, and histograms.
-	MetricsRegistry = telemetry.Registry
-	// MetricsSink populates a MetricsRegistry from the event stream.
-	MetricsSink = telemetry.MetricsSink
-)
-
-// NewTelemetryBus returns a bus publishing to the given sinks.
-func NewTelemetryBus(sinks ...telemetry.Sink) *TelemetryBus { return telemetry.NewBus(sinks...) }
-
-// NewTelemetryRing returns an in-memory ring keeping the last n events.
-func NewTelemetryRing(n int) *TelemetryRing { return telemetry.NewRing(n) }
-
-// NewNDJSONSink returns a sink streaming events to w as NDJSON.
-func NewNDJSONSink(w io.Writer) *NDJSONSink { return telemetry.NewNDJSONSink(w) }
-
-// NewMetricsRegistry returns an empty metrics registry.
-func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
-
-// NewMetricsSink returns a sink aggregating events into a fresh
-// registry, exposed as its R field.
-func NewMetricsSink() *MetricsSink { return telemetry.NewMetricsSink() }
-
-// --- live introspection (HTTP server, progress state) ---
-
-type (
-	// ProgressState is a concurrency-safe materialized view of sweep
-	// progress events, readable while the sweep runs — the data source
-	// behind the introspection server's /progress endpoint.
-	ProgressState = telemetry.ProgressState
-	// ProgressSnapshot is a point-in-time copy of sweep progress.
-	ProgressSnapshot = telemetry.ProgressSnapshot
-	// ObsServer is the live introspection HTTP server: /metrics
-	// (Prometheus text format), /progress (JSON), /healthz, and
-	// /debug/pprof. See internal/obs and docs/OBSERVABILITY.md.
-	ObsServer = obs.Server
-)
-
-// NewProgressState returns an empty progress view, ready to subscribe
-// to a sweep's progress bus alongside (or instead of) a ProgressSink.
-func NewProgressState() *ProgressState { return telemetry.NewProgressState() }
-
-// NewObsServer returns an unstarted introspection server over the
-// given sources; either may be nil. Call Start(addr) to serve.
-func NewObsServer(r *MetricsRegistry, p *ProgressState) *ObsServer {
-	return obs.New(obs.Config{Registry: r, Progress: p})
-}
-
-// ValidatePrometheus structurally checks Prometheus text-format
-// exposition output (the format /metrics serves).
-func ValidatePrometheus(data []byte) error { return telemetry.ValidatePrometheus(data) }
-
-// SimCounters reports the process-wide simulator totals: discrete
-// events processed and packets transmitted across every scheduler.
-func SimCounters() (events, packets uint64) { return sim.GlobalCounters() }
-
-// --- spans, sampled series, and trace export ---
-
-type (
-	// Span is one timed interval assembled from the event stream: a
-	// connection lifetime, a recovery episode, a retreat/probe
-	// sub-phase, or a queue busy period.
-	Span = telemetry.Span
-	// SpanKind discriminates the span types.
-	SpanKind = telemetry.SpanKind
-	// SpanEvent is an instantaneous marker attached to a span.
-	SpanEvent = telemetry.SpanEvent
-	// SpanSink assembles spans live from a telemetry bus.
-	SpanSink = telemetry.SpanSink
-	// Sampler periodically records gauge series (cwnd, ssthresh,
-	// actnum, srtt, rto, flight, queue occupancy) in simulated time.
-	Sampler = telemetry.Sampler
-	// TelemetryGaugeSource is implemented by components that expose
-	// gauges to a Sampler (senders, queues).
-	TelemetryGaugeSource = telemetry.GaugeSource
-	// Series is one sampled gauge time series.
-	Series = telemetry.Series
-	// SeriesSink collects sampled series live from a telemetry bus.
-	SeriesSink = telemetry.SeriesSink
-	// LogHistogram is a log-bucketed HDR-style histogram for latency
-	// and duration distributions.
-	LogHistogram = stats.LogHistogram
-	// TelemetryComponent identifies the component an event came from.
-	TelemetryComponent = telemetry.Component
-)
-
-// CompQueue labels queue-scoped telemetry — the component to pass when
-// wiring a Sampler to a queue instance via AddInstance.
-const CompQueue = telemetry.CompQueue
-
-// Span kinds assembled by SpanSink.
-const (
-	SpanConn      = telemetry.SpanConn
-	SpanRecovery  = telemetry.SpanRecovery
-	SpanRetreat   = telemetry.SpanRetreat
-	SpanProbe     = telemetry.SpanProbe
-	SpanQueueBusy = telemetry.SpanQueueBusy
-)
-
-// NewSpanSink returns a sink assembling spans from the event stream.
-func NewSpanSink() *SpanSink { return telemetry.NewSpanSink() }
-
-// NewSeriesSink returns a sink collecting sampled gauge series.
-func NewSeriesSink() *SeriesSink { return telemetry.NewSeriesSink() }
-
-// NewSampler returns a sampler publishing gauge samples on bus every
-// `every` of simulated time, or nil (a safe no-op) when telemetry is
-// disabled. Register sources with AddFlow/AddInstance, then Start.
-func NewSampler(s *Scheduler, bus *TelemetryBus, every Time) *Sampler {
-	return telemetry.NewSampler(s, bus, every)
-}
-
-// NewLogHistogram returns an empty log-bucketed histogram.
-func NewLogHistogram() *LogHistogram { return stats.NewLogHistogram() }
-
-// AssembleSpans builds the span tree from decoded NDJSON records.
-func AssembleSpans(records []telemetry.Record) []*Span { return telemetry.AssembleSpans(records) }
-
-// AssembleSeries builds sampled series from decoded NDJSON records.
-func AssembleSeries(records []telemetry.Record) []*Series { return telemetry.AssembleSeries(records) }
-
-// RenderSpans formats a span tree as an indented text listing.
-func RenderSpans(spans []*Span) string { return telemetry.RenderSpans(spans) }
-
-// WriteChromeTrace writes spans and series as Chrome trace-event JSON,
-// openable in Perfetto (ui.perfetto.dev) or chrome://tracing.
-func WriteChromeTrace(w io.Writer, spans []*Span, series []*Series) error {
-	return telemetry.WriteChromeTrace(w, spans, series)
-}
-
-// ValidateChromeTrace structurally checks Chrome trace-event JSON:
-// well-formed traceEvents, per-track monotone timestamps, balanced
-// begin/end pairs.
-func ValidateChromeTrace(data []byte) error { return telemetry.ValidateChromeTrace(data) }
-
-// WriteSeriesCSV writes sampled series as CSV (seg,comp,src,flow,t,value).
-func WriteSeriesCSV(w io.Writer, series []*Series) error {
-	return telemetry.WriteSeriesCSV(w, series)
-}
-
-// --- analytic models (paper §4) ---
-
-// SqrtModelWindow returns the Mathis et al. bound C/sqrt(p) in packets.
-func SqrtModelWindow(p, c float64) float64 { return model.SqrtWindow(p, c) }
-
-// CAckEveryPacket is the Mathis constant for ACK-every-packet receivers.
-const CAckEveryPacket = model.CAckEveryPacket
-
-// PadhyeModelWindow returns the timeout-aware Padhye et al. window.
-func PadhyeModelWindow(rttSeconds, t0Seconds, p float64, b int) float64 {
-	return model.PadhyeWindow(rttSeconds, t0Seconds, p, b)
-}
-
-// --- experiment runners (one per table/figure) ---
-
-type (
-	// Figure5Config / Figure5Result: drop-tail burst-loss throughput.
-	Figure5Config = experiments.Figure5Config
-	Figure5Result = experiments.Figure5Result
-	// Figure6Config / Figure6Result: RED-gateway sequence traces.
-	Figure6Config = experiments.Figure6Config
-	Figure6Result = experiments.Figure6Result
-	// Figure7Config / Figure7Result: square-root-model fitness.
-	Figure7Config = experiments.Figure7Config
-	Figure7Result = experiments.Figure7Result
-	// Table5Config / Table5Case / Table5Result: fairness matrix.
-	Table5Config = experiments.Table5Config
-	Table5Case   = experiments.Table5Case
-	Table5Result = experiments.Table5Result
-	// AckLossConfig / AckLossResult: §2.3 ACK-loss robustness.
-	AckLossConfig = experiments.AckLossConfig
-	AckLossResult = experiments.AckLossResult
-	// FairShareConfig / FairShareResult: §2.3 fair-share claim (FIFO vs
-	// DRR gateways on the ACK path).
-	FairShareConfig = experiments.FairShareConfig
-	FairShareResult = experiments.FairShareResult
-	// TwoWayConfig / TwoWayResult: two-way traffic extension ([22]).
-	TwoWayConfig = experiments.TwoWayConfig
-	TwoWayResult = experiments.TwoWayResult
-	// SmoothStartConfig / SmoothStartResult: slow-start overshoot
-	// comparison against the paper's companion refinement ([21]).
-	SmoothStartConfig = experiments.SmoothStartConfig
-	SmoothStartResult = experiments.SmoothStartResult
-	// BurstyConfig / BurstyResult: Gilbert-Elliott correlated-loss
-	// sweep (the paper's [18] loss regime).
-	BurstyConfig = experiments.BurstyConfig
-	BurstyResult = experiments.BurstyResult
-	// AblationResult: RR design-choice matrix.
-	AblationResult = experiments.AblationResult
-	// ChaosConfig / ChaosResult: seeded-random fault sweep with runtime
-	// invariant checking; ChaosCase and ChaosBundle are the replayable
-	// units behind repro bundles.
-	ChaosConfig = experiments.ChaosConfig
-	ChaosResult = experiments.ChaosResult
-	ChaosCase   = experiments.ChaosCase
-	ChaosBundle = experiments.Bundle
-	// FaultPlan is a serializable fault schedule (link flaps, reordering,
-	// duplication, corruption, ACK compression) for a netem topology.
-	FaultPlan = faults.PlanSpec
-	// InvariantViolation is one runtime TCP-invariant breach.
-	InvariantViolation = invariant.Violation
-)
-
-// RunFigure5 regenerates one Figure 5 panel.
-func RunFigure5(cfg Figure5Config) (*Figure5Result, error) { return experiments.Figure5(cfg) }
-
-// RunFigure6 regenerates the Figure 6 panels.
-func RunFigure6(cfg Figure6Config) (*Figure6Result, error) { return experiments.Figure6(cfg) }
-
-// RunFigure7 regenerates the Figure 7 sweep.
-func RunFigure7(cfg Figure7Config) (*Figure7Result, error) { return experiments.Figure7(cfg) }
-
-// RunTable5 regenerates the Table 5 fairness matrix.
-func RunTable5(cfg Table5Config) (*Table5Result, error) { return experiments.Table5(cfg) }
-
-// RunAckLoss runs the §2.3 ACK-loss robustness sweep.
-func RunAckLoss(cfg AckLossConfig) (*AckLossResult, error) { return experiments.AckLoss(cfg) }
-
-// RunFairShare runs the §2.3 fair-share gateway comparison.
-func RunFairShare(cfg FairShareConfig) (*FairShareResult, error) {
-	return experiments.FairShare(cfg)
-}
-
-// RunTwoWay runs the two-way-traffic extension experiment.
-func RunTwoWay(cfg TwoWayConfig) (*TwoWayResult, error) {
-	return experiments.TwoWay(cfg)
-}
-
-// RunSmoothStart runs the slow-start overshoot comparison.
-func RunSmoothStart(cfg SmoothStartConfig) (*SmoothStartResult, error) {
-	return experiments.SmoothStart(cfg)
-}
-
-// RunBursty runs the Gilbert-Elliott correlated-loss sweep.
-func RunBursty(cfg BurstyConfig) (*BurstyResult, error) {
-	return experiments.Bursty(cfg)
-}
-
-// --- parallel sweeps and the unified Experiment API ---
-
-type (
-	// SweepJob is one independent simulation run inside a sweep.
-	SweepJob = sweep.Job
-	// SweepConfig parameterizes a RunSweep call.
-	SweepConfig = sweep.Config
-	// Experiment is the unified interface every experiment runner
-	// implements: Name, Jobs, Reduce.
-	Experiment = experiments.Experiment
-	// ExperimentOptions carries the CLI-facing knobs shared across
-	// experiments; zero values mean "experiment default".
-	ExperimentOptions = experiments.Options
-	// ExperimentRunOptions controls execution (worker count, progress).
-	ExperimentRunOptions = experiments.RunOptions
-	// ExperimentResult is a structured result with a text rendering.
-	ExperimentResult = experiments.Renderable
-	// ExperimentRegistration is one named experiment in the registry.
-	ExperimentRegistration = experiments.Registration
-	// ProgressSink renders sweep progress events as a status line.
-	ProgressSink = telemetry.ProgressSink
-	// SweepRetryPolicy governs re-execution of transiently failed sweep
-	// jobs with capped exponential backoff; the zero value disables
-	// retry.
-	SweepRetryPolicy = sweep.RetryPolicy
-	// SweepJournal is a sweep checkpoint: an append-only NDJSON log of
-	// completed job results that lets an interrupted sweep resume.
-	SweepJournal = sweep.Journal
-	// ExperimentResultCodec is implemented by experiments whose job
-	// results survive a JSON round-trip — the prerequisite for
-	// checkpoint/resume.
-	ExperimentResultCodec = experiments.ResultCodec
-)
-
-// RunSweep fans the jobs out across a worker pool and returns their
-// results in job-index order, byte-identical to sequential execution;
-// see internal/sweep for the determinism contract.
-func RunSweep(cfg SweepConfig, jobs []SweepJob) ([]any, error) { return sweep.Run(cfg, jobs) }
-
-// DeriveSweepSeed returns the deterministic per-job seed the sweep
-// engine uses for the job at index under a master seed.
-func DeriveSweepSeed(seed int64, index int) int64 { return sweep.DeriveSeed(seed, index) }
-
-// OpenSweepJournal opens (resume) or creates the checkpoint journal for
-// the sweep identified by (cfg.Name, cfg.Seed, jobs) under dir; decode
-// reconstructs one job's result from its stored JSON. Hand the journal
-// to RunSweep via SweepConfig.Checkpoint and Close it afterwards.
-func OpenSweepJournal(dir string, cfg SweepConfig, jobs []SweepJob, resume bool,
-	decode func([]byte) (any, error)) (*SweepJournal, error) {
-	return sweep.OpenJournal(dir, cfg, jobs, resume, decode)
-}
-
-// SweepTransient reports whether a sweep job failure is environmental
-// (timeout, panic, injected fault — worth retrying) as opposed to a
-// deterministic simulation error.
-func SweepTransient(err error) bool { return sweep.Transient(err) }
-
-// NewSweepFaultInjector returns a deterministic seeded fault injector
-// for SweepConfig.FaultInjector, failing each (job, attempt) pair with
-// the given probability — the chaos hook for testing retry handling.
-func NewSweepFaultInjector(seed int64, rate float64) func(index, attempt int) error {
-	return sweep.NewFaultInjector(seed, rate)
-}
-
-// Experiments lists every registered experiment in canonical order.
-func Experiments() []ExperimentRegistration { return experiments.Experiments() }
-
-// BuildExperiment constructs a registered experiment by name.
-func BuildExperiment(name string, o ExperimentOptions) (Experiment, error) {
-	return experiments.Build(name, o)
-}
-
-// RunExperiment executes an experiment end to end: expand jobs, sweep
-// them across the worker pool, reduce the ordered results.
-func RunExperiment(e Experiment, opt ExperimentRunOptions) (ExperimentResult, error) {
-	return experiments.Run(e, opt)
-}
-
-// NewProgressSink returns a telemetry sink rendering sweep progress to
-// w (typically os.Stderr).
-func NewProgressSink(w io.Writer) *ProgressSink { return telemetry.NewProgressSink(w) }
-
-// --- user-defined scenarios ---
-
-type (
-	// Scenario is a JSON-described simulation: topology, losses, flows.
-	Scenario = scenario.Spec
-	// ScenarioReport is a completed scenario's per-flow outcome.
-	ScenarioReport = scenario.Report
-)
-
-// LoadScenario parses a scenario from JSON.
-func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
-
-// LoadScenarioFile parses a scenario from a file.
-func LoadScenarioFile(path string) (*Scenario, error) { return scenario.LoadFile(path) }
-
-// RunAblation runs the RR design ablation matrix.
-func RunAblation(drops int) (*AblationResult, error) { return experiments.Ablation(drops) }
-
-// --- chaos / robustness ---
-
-// RunChaos sweeps seeded-random fault schedules across the TCP
-// variants under runtime invariant checking.
-func RunChaos(cfg ChaosConfig) (*ChaosResult, error) { return experiments.Chaos(cfg) }
-
-// RunChaosCase replays one chaos case (e.g. from a repro bundle).
-func RunChaosCase(c ChaosCase) (*experiments.ChaosOutcome, error) {
-	return experiments.RunChaosCase(c)
-}
-
-// LoadChaosBundle reads a repro bundle written by a chaos sweep.
-func LoadChaosBundle(path string) (*ChaosBundle, error) { return experiments.LoadBundle(path) }
-
-// ReplayChaosBundle re-runs a bundle's case and verifies the stored
-// violation reproduces exactly.
-func ReplayChaosBundle(b *ChaosBundle) (*experiments.ChaosOutcome, error) {
-	return experiments.ReplayBundle(b)
-}
-
-// --- overload guardrails: budgets, bounded telemetry, degradation ---
-
-type (
-	// GuardLimits is a set of resource budgets (events, sim-time, event
-	// storm, wall clock, heap) attached to a scheduler; zero fields mean
-	// "no limit".
-	GuardLimits = guard.Limits
-	// GuardMonitor observes one scheduler against a GuardLimits set.
-	GuardMonitor = guard.Monitor
-	// OverloadError is the typed error a tripped resource budget
-	// produces; it carries the sweep's Degraded marker.
-	OverloadError = guard.OverloadError
-	// StallError is the typed error form of a liveness ("stall")
-	// violation; like OverloadError it degrades rather than fails.
-	StallError = invariant.StallError
-	// BoundedSink wraps a telemetry sink with an event budget and drop
-	// policy, with drop accounting surfaced as "telemetry-drops" events.
-	BoundedSink = telemetry.BoundedSink
-	// BoundedSinkConfig parameterizes a BoundedSink.
-	BoundedSinkConfig = telemetry.BoundedConfig
-	// TelemetryDropPolicy selects the over-budget behavior
-	// (TelemetryDropNewest or TelemetrySampleOneInK).
-	TelemetryDropPolicy = telemetry.DropPolicy
-	// SweepDegraded is the result slot of a sweep job whose resource
-	// budget tripped: the sweep completes and reports it instead of
-	// failing.
-	SweepDegraded = sweep.Degraded
-	// StressConfig / StressResult: the overload soak (rrsim stress).
-	StressConfig = experiments.StressConfig
-	StressResult = experiments.StressResult
-)
-
-// Telemetry drop policies for BoundedSinkConfig.Policy.
-const (
-	TelemetryDropNewest   = telemetry.DropNewest
-	TelemetrySampleOneInK = telemetry.SampleOneInK
-)
-
-// AttachGuard installs a resource-budget monitor on the scheduler; a
-// tripped budget stops the run with a typed *OverloadError and
-// publishes an "overload" telemetry event on bus (which may be nil).
-func AttachGuard(sched *Scheduler, limits GuardLimits, bus *TelemetryBus) (*GuardMonitor, error) {
-	return guard.Attach(sched, limits, bus)
-}
-
-// NewBoundedSink wraps inner with an event budget and drop policy.
-func NewBoundedSink(inner TelemetrySink, cfg BoundedSinkConfig) *BoundedSink {
-	return telemetry.NewBoundedSink(inner, cfg)
-}
-
-// SweepIsDegraded reports whether a job error carries the structural
-// Degraded marker (a resource-budget trip) anywhere in its Unwrap
-// chain.
-func SweepIsDegraded(err error) bool { return sweep.IsDegraded(err) }
-
-// RunStress runs the overload soak: cells of concurrent flows under
-// chaos plans, invariant checking, bounded telemetry, and guard
-// budgets, with budget-tripped cells degrading instead of failing.
-func RunStress(cfg StressConfig) (*StressResult, error) { return experiments.Stress(cfg) }

@@ -1,0 +1,34 @@
+// Simulation-engine surface of the rrtcp facade: the deterministic
+// scheduler, simulated time, and the reusable-timer scheduling API.
+package rrtcp
+
+import (
+	"rrtcp/internal/sim"
+)
+
+// --- simulation engine ---
+
+// Scheduler is the deterministic discrete-event engine driving a run.
+type Scheduler = sim.Scheduler
+
+// Time is a simulated instant (an offset from the simulation epoch).
+type Time = sim.Time
+
+// NewScheduler returns an engine with the clock at zero and all
+// randomness derived from seed.
+func NewScheduler(seed int64) *Scheduler { return sim.NewScheduler(seed) }
+
+// Timer is a restartable one-shot timer bound to a scheduler — the
+// preferred way to schedule work. Create one per long-lived event
+// source with Scheduler.NewTimer(handler) and re-arm it with
+// Timer.At/Reset; arming allocates nothing. The closure-based
+// Scheduler.Schedule/At calls remain as deprecated shims.
+type Timer = sim.Timer
+
+// ErrScheduleInPast is returned when an event (or timer) is armed
+// before the current simulated time.
+var ErrScheduleInPast = sim.ErrScheduleInPast
+
+// SimCounters reports the process-wide simulator totals: discrete
+// events processed and packets transmitted across every scheduler.
+func SimCounters() (events, packets uint64) { return sim.GlobalCounters() }

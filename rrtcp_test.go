@@ -129,19 +129,19 @@ func TestStrategyConstructors(t *testing.T) {
 
 func TestFacadeQueueConstructors(t *testing.T) {
 	sched := rrtcp.NewScheduler(1)
-	if q, err := rrtcp.NewDropTailQueue(8); err != nil || q == nil || q.Len() != 0 {
+	if q, err := rrtcp.NewDropTailQueue(sched, 8); err != nil || q == nil || q.Len() != 0 {
 		t.Fatalf("drop-tail constructor: %v", err)
 	}
-	if q, err := rrtcp.NewDRRQueue(500, 8); err != nil || q == nil || q.Len() != 0 {
+	if q, err := rrtcp.NewDRRQueue(sched, rrtcp.DRRConfig{QuantumBytes: 500, LimitPackets: 8}); err != nil || q == nil || q.Len() != 0 {
 		t.Fatalf("DRR constructor: %v", err)
 	}
 	if q, err := rrtcp.NewREDQueue(sched, rrtcp.PaperREDConfig()); err != nil || q == nil || q.Len() != 0 {
 		t.Fatalf("RED constructor: %v", err)
 	}
-	if _, err := rrtcp.NewDropTailQueue(0); err == nil {
+	if _, err := rrtcp.NewDropTailQueue(sched, 0); err == nil {
 		t.Fatal("drop-tail accepted zero limit")
 	}
-	if _, err := rrtcp.NewDRRQueue(0, 8); err == nil {
+	if _, err := rrtcp.NewDRRQueue(sched, rrtcp.DRRConfig{QuantumBytes: 0, LimitPackets: 8}); err == nil {
 		t.Fatal("DRR accepted zero quantum")
 	}
 }

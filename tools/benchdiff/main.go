@@ -12,10 +12,13 @@
 //   - custom metrics whose unit ends in "/sec" (events/sec,
 //     packets/sec) — higher is better; a relative decrease beyond the
 //     threshold is a regression.
+//   - custom metrics whose unit ends in "/event" (allocs/event) —
+//     lower is better; a relative increase beyond the threshold is a
+//     regression.
 //
-// Other custom metrics (allocs/event, rr-Kbps, transfer-s) are shown
-// for context but never gate, since their polarity is benchmark-
-// specific. Benchmarks present in only one file are listed but do not
+// Other custom metrics (rr-Kbps, transfer-s, heap-highwater,
+// pool-hit-ratio) are shown for context but never gate, since their
+// polarity is benchmark-specific. Benchmarks present in only one file are listed but do not
 // gate either, so adding or retiring a benchmark never breaks the
 // comparison. With -warn the table and verdict still print but the
 // exit status stays zero — the soft mode CI uses while a number
@@ -155,7 +158,8 @@ func diff(oldRes, newRes map[string]result, threshold float64) (rows []row, only
 		sort.Strings(units)
 		for _, u := range units {
 			higherBetter := strings.HasSuffix(u, "/sec")
-			rows = append(rows, mkRow(n, u, o.Metrics[u], nw.Metrics[u], higherBetter, higherBetter, threshold))
+			lowerBetter := strings.HasSuffix(u, "/event")
+			rows = append(rows, mkRow(n, u, o.Metrics[u], nw.Metrics[u], higherBetter, higherBetter || lowerBetter, threshold))
 		}
 	}
 	return rows, onlyOld, onlyNew

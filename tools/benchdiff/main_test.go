@@ -21,7 +21,7 @@ const baseline = `{
   "BenchmarkEventsPerSec-8": {
     "ns_per_op": 400000000,
     "iterations": 3,
-    "metrics": {"events/sec": 2500000, "allocs/event": 2.8}
+    "metrics": {"events/sec": 2500000, "allocs/event": 2.8, "heap-highwater": 30}
   },
   "BenchmarkPacketsPerSec-8": {
     "ns_per_op": 500000000,
@@ -91,12 +91,12 @@ func TestWarnModeExitsZero(t *testing.T) {
 
 func TestImprovementAndContextMetricsDoNotGate(t *testing.T) {
 	// ns/op halves, throughput doubles, and the context-only
-	// allocs/event metric "worsens" 10x — still a clean exit.
+	// heap-highwater metric "worsens" 10x — still a clean exit.
 	improved := `{
   "BenchmarkEventsPerSec-8": {
     "ns_per_op": 200000000,
     "iterations": 6,
-    "metrics": {"events/sec": 5000000, "allocs/event": 28}
+    "metrics": {"events/sec": 5000000, "allocs/event": 2.8, "heap-highwater": 300}
   },
   "BenchmarkPacketsPerSec-8": {
     "ns_per_op": 500000000,
@@ -110,6 +110,30 @@ func TestImprovementAndContextMetricsDoNotGate(t *testing.T) {
 	}
 	if !strings.Contains(out, "improved") || !strings.Contains(out, "(info)") {
 		t.Errorf("missing improved/(info) verdicts:\n%s", out)
+	}
+}
+
+func TestAllocsPerEventRegressionFails(t *testing.T) {
+	// allocs/event is lower-is-better and gates: a 10x jump fails even
+	// with every other number flat.
+	worse := `{
+  "BenchmarkEventsPerSec-8": {
+    "ns_per_op": 400000000,
+    "iterations": 3,
+    "metrics": {"events/sec": 2500000, "allocs/event": 28}
+  },
+  "BenchmarkPacketsPerSec-8": {
+    "ns_per_op": 500000000,
+    "iterations": 3,
+    "metrics": {"packets/sec": 1200000}
+  }
+}`
+	code, out := runDiff(t, baseline, worse, 0.10, false)
+	if code != 1 {
+		t.Fatalf("allocs/event regression exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("missing REGRESSION verdict:\n%s", out)
 	}
 }
 

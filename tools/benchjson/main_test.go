@@ -65,6 +65,23 @@ func TestParseLineCustomMetrics(t *testing.T) {
 	}
 }
 
+func TestParseLineWorkingSetMetrics(t *testing.T) {
+	// The headline benchmarks also publish engine working-set figures
+	// (heap depth high-water, packet-pool hit rate); they must survive
+	// the trip into BENCH_core.json like any other custom unit.
+	line := "BenchmarkEventsPerSec-8  	      20	   1068618 ns/op	         0.14 allocs/event	   6837804 events/sec	        30.00 heap-highwater	         0.97 pool-hit-ratio	  278706 B/op	    1072 allocs/op"
+	_, res, ok := parseLine(line)
+	if !ok {
+		t.Fatal("parseLine rejected headline output")
+	}
+	if res.Metrics["heap-highwater"] != 30 || res.Metrics["pool-hit-ratio"] != 0.97 {
+		t.Errorf("working-set metrics wrong: %+v", res.Metrics)
+	}
+	if len(res.Metrics) != 4 {
+		t.Errorf("Metrics has %d entries, want 4: %v", len(res.Metrics), res.Metrics)
+	}
+}
+
 func TestMetricsOmittedWhenAbsent(t *testing.T) {
 	_, res, ok := parseLine("BenchmarkX-8 100 71 ns/op")
 	if !ok || res.Metrics != nil {

@@ -178,7 +178,7 @@ func TestLossRateMatchesConfigured(t *testing.T) {
 		BottleneckDelay: 20 * time.Millisecond,
 		SideBps:         100e6,
 		SideDelay:       time.Millisecond,
-		ForwardQueue:    rrtcp.Must(rrtcp.NewDropTailQueue(1000)),
+		ForwardQueue:    rrtcp.Must(rrtcp.NewDropTailQueue(sched, 1000)),
 		Loss:            loss,
 	}
 	d, err := rrtcp.NewDumbbell(sched, cfg)

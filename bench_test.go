@@ -94,6 +94,12 @@ func BenchmarkFigure5RingSink(b *testing.B) {
 	})
 }
 
+func BenchmarkFigure5FlowTableSink(b *testing.B) {
+	benchFigure5Telemetry(b, func() *rrtcp.TelemetryBus {
+		return rrtcp.NewTelemetryBus(rrtcp.NewFlowTable(rrtcp.FlowStatsConfig{Exemplars: 2}))
+	})
+}
+
 func BenchmarkNDJSONEmit(b *testing.B) {
 	sink := rrtcp.NewNDJSONSink(io.Discard)
 	ev := rrtcp.TelemetryEvent{
@@ -429,7 +435,7 @@ func BenchmarkChaosParallel4(b *testing.B) {
 func BenchmarkChaosParallel4LiveHTTP(b *testing.B) {
 	sink := rrtcp.NewMetricsSink()
 	ps := rrtcp.NewProgressState()
-	srv := rrtcp.NewObsServer(sink.R, ps)
+	srv := rrtcp.NewObsServer(sink.R, ps, nil)
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

@@ -48,9 +48,17 @@
 // the aggregated metrics snapshot, and -pprof writes cpu.pprof and
 // heap.pprof runtime profiles of the simulator itself.
 //
+// Flow-scale analytics (fig5, chaos, stress): -flow-stats folds every
+// flow's lifecycle events into aggregate per-variant accounting — FCT
+// quantiles, goodput, retransmission load, windowed Jain fairness —
+// appended to the result as a flow report; -flow-exemplars K keeps a
+// seeded reservoir of K flows in full detail; -flow-csv FILE writes the
+// per-variant rows as CSV.
+//
 // -http :PORT serves live introspection while the run executes:
 // /metrics (Prometheus text format), /progress (sweep progress as
-// JSON), /healthz, and /debug/pprof. See docs/OBSERVABILITY.md.
+// JSON), /flows (flow analytics as JSON), /healthz, and /debug/pprof.
+// See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -115,6 +123,9 @@ func run(args []string) error {
 	budgetEvents := fs.Uint64("budget-events", 0, "per-cell processed-event budget; a cell exceeding it degrades (stress, 0 = off)")
 	budgetWall := fs.Duration("budget-wall", 0, "per-cell wall-clock budget, sampled (stress, 0 = off)")
 	budgetHeap := fs.Uint64("budget-heap", 0, "heap ceiling in bytes, sampled per cell; a cell over it degrades instead of OOMing (stress, 0 = off)")
+	flowStats := fs.Bool("flow-stats", false, "fold flow lifecycle events into the aggregate flow-analytics layer; the result gains a per-variant FCT/goodput/fairness report (fig5/chaos/stress)")
+	flowExemplars := fs.Int("flow-exemplars", 0, "reservoir of exemplar flows kept in full detail by -flow-stats (0 = aggregates only)")
+	flowCSV := fs.String("flow-csv", "", "write the -flow-stats per-variant report as CSV to this file")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -130,19 +141,21 @@ func run(args []string) error {
 	}
 
 	opts := rrtcp.ExperimentOptions{
-		Seed:         *seed,
-		Runs:         runs,
-		Drops:        *drops,
-		Quick:        *quick,
-		DelayedAck:   *delack,
-		Bytes:        *bytes,
-		Horizon:      *horizon,
-		BundleDir:    *bundles,
-		Cells:        *cells,
-		Flows:        *flows,
-		MaxEvents:    *budgetEvents,
-		MaxWall:      *budgetWall,
-		MaxHeapBytes: *budgetHeap,
+		Seed:          *seed,
+		Runs:          runs,
+		Drops:         *drops,
+		Quick:         *quick,
+		DelayedAck:    *delack,
+		Bytes:         *bytes,
+		Horizon:       *horizon,
+		BundleDir:     *bundles,
+		Cells:         *cells,
+		Flows:         *flows,
+		MaxEvents:     *budgetEvents,
+		MaxWall:       *budgetWall,
+		MaxHeapBytes:  *budgetHeap,
+		FlowStats:     *flowStats,
+		FlowExemplars: *flowExemplars,
 	}
 	if *variants != "" {
 		for _, name := range strings.Split(*variants, ",") {
@@ -185,7 +198,10 @@ func run(args []string) error {
 	defer stopSignals()
 	runOpt.Context = ctx
 
-	tel := telemetryOpts{events: *events, metrics: *metrics, traceOut: *traceJSON}
+	tel := telemetryOpts{events: *events, metrics: *metrics, traceOut: *traceJSON, flowCSV: *flowCSV}
+	if *flowCSV != "" && !*flowStats {
+		return fmt.Errorf("-flow-csv requires -flow-stats")
+	}
 
 	// The progress bus carries sweep lifecycle events (published on the
 	// coordinating goroutine); the -progress status line and the live
@@ -222,13 +238,28 @@ func run(args []string) error {
 		liveProgress := rrtcp.NewProgressState()
 		progressSinks = append(progressSinks, liveMetrics, liveProgress)
 		tel.live = liveMetrics
-		srv := rrtcp.NewObsServer(liveMetrics.R, liveProgress)
+		var liveFlows *rrtcp.FlowTable
+		if *flowStats {
+			// The live table behind /flows subscribes to the shared
+			// telemetry bus, filling as experiments republish per-job
+			// streams (chaos/stress keep run events private-bounded and
+			// surface flow analytics via the result report instead); the
+			// per-job tables behind the result's flow report are separate,
+			// so scraping never perturbs the deterministic output.
+			liveFlows = rrtcp.NewFlowTable(rrtcp.FlowStatsConfig{
+				Exemplars: *flowExemplars,
+				Seed:      *seed,
+				Registry:  liveMetrics.R,
+			})
+			tel.flows = liveFlows
+		}
+		srv := rrtcp.NewObsServer(liveMetrics.R, liveProgress, liveFlows)
 		addr, err := srv.Start(*httpAddr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "rrsim: introspection server on http://%s (/metrics /progress /healthz /debug/pprof)\n", addr)
+		fmt.Fprintf(os.Stderr, "rrsim: introspection server on http://%s (/metrics /progress /flows /healthz /debug/pprof)\n", addr)
 	}
 	if len(progressSinks) > 0 {
 		runOpt.Progress = rrtcp.NewTelemetryBus(progressSinks...)
@@ -358,6 +389,23 @@ func runExperiment(name string, emit renderer, opts rrtcp.ExperimentOptions,
 	if err := emit(res.Render(), res); err != nil {
 		return err
 	}
+	if tel.flowCSV != "" {
+		fr, ok := res.(interface{ FlowReport() rrtcp.FlowReport })
+		if !ok {
+			return fmt.Errorf("%s does not produce a flow report (-flow-csv)", name)
+		}
+		f, err := os.Create(tel.flowCSV)
+		if err != nil {
+			return err
+		}
+		err = fr.FlowReport().WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write -flow-csv: %w", err)
+		}
+	}
 	if v, ok := res.(interface{ Violated() int }); ok {
 		if n := v.Violated(); n > 0 {
 			return fmt.Errorf("%s: %d invariant violation(s)", name, n)
@@ -430,10 +478,12 @@ type telemetryOpts struct {
 	metrics  bool                // print metrics snapshot to stderr
 	traceOut string              // Chrome trace-event JSON path
 	live     rrtcp.TelemetrySink // -http live metrics sink, also fed simulation events
+	flows    *rrtcp.FlowTable    // -http live flow table behind /flows
+	flowCSV  string              // -flow-csv report path
 }
 
 func (t telemetryOpts) enabled() bool {
-	return t.events != "" || t.metrics || t.traceOut != "" || t.live != nil
+	return t.events != "" || t.metrics || t.traceOut != "" || t.live != nil || t.flows != nil
 }
 
 // telemetrySetup builds the bus behind -events, -metrics, and
@@ -447,6 +497,9 @@ func telemetrySetup(tel telemetryOpts) (*rrtcp.TelemetryBus, func() error, error
 	var sinks []rrtcp.TelemetrySink
 	if tel.live != nil {
 		sinks = append(sinks, tel.live)
+	}
+	if tel.flows != nil {
+		sinks = append(sinks, tel.flows)
 	}
 	var nd *rrtcp.NDJSONSink
 	var f *os.File

@@ -7,6 +7,12 @@
 //	    Per-flow counters, recovery episodes (retreat/probe durations,
 //	    further losses, exit window), and per-queue drop counts.
 //
+//	rrtrace flows [-exemplars k] [-seed n] <events.ndjson>
+//	    Replay the stream through the flow-analytics table and print the
+//	    aggregate flow report: per-variant FCT quantiles, goodput,
+//	    retransmission load, and windowed Jain fairness — the same table
+//	    a live run serves at /flows.
+//
 //	rrtrace filter [-flow n] [-comp c] [-kind k] [-from s] [-to s] <events.ndjson>
 //	    Re-emit matching records as NDJSON, e.g. for piping into jq.
 //
@@ -33,6 +39,7 @@ import (
 	"os"
 
 	"rrtcp/internal/telemetry"
+	"rrtcp/internal/telemetry/flowstats"
 )
 
 func main() {
@@ -44,7 +51,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: rrtrace {summary|filter|timeline|spans|export} [flags] <events.ndjson>")
+		return fmt.Errorf("usage: rrtrace {summary|flows|filter|timeline|spans|export} [flags] <events.ndjson>")
 	}
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
@@ -57,6 +64,8 @@ func run(args []string) error {
 	height := fs.Int("height", 16, "plot height in rows (timeline)")
 	format := fs.String("format", "chrome", "export format: chrome (trace-event JSON) or csv (sampled series)")
 	out := fs.String("out", "-", "export output path; - writes to stdout (export)")
+	exemplars := fs.Int("exemplars", 0, "reservoir of exemplar flows to track while replaying (flows)")
+	seed := fs.Int64("seed", 0, "reservoir-sampling seed (flows)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -71,6 +80,12 @@ func run(args []string) error {
 	switch cmd {
 	case "summary":
 		fmt.Print(telemetry.Summarize(records).Render())
+	case "flows":
+		table := flowstats.FromRecords(records, flowstats.Config{
+			Exemplars: *exemplars,
+			Seed:      *seed,
+		})
+		fmt.Print(table.Report().Render())
 	case "filter":
 		opts := telemetry.FilterOpts{
 			Comp: *comp,

@@ -16,6 +16,7 @@ import (
 	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/telemetry"
+	"rrtcp/internal/telemetry/flowstats"
 	"rrtcp/internal/workload"
 )
 
@@ -97,6 +98,13 @@ func (l *liarStrategy) Ndup() int        { return 0 }
 // deterministic in the case value: identical inputs produce identical
 // outcomes, which is what makes repro bundles replayable.
 func RunChaosCase(c ChaosCase) (*ChaosOutcome, error) {
+	return runChaosCase(c, nil)
+}
+
+// runChaosCase is RunChaosCase with extra telemetry sinks subscribed to
+// the run's private bus — the hook the chaos sweep uses to fold flow
+// lifecycle events into a per-case flowstats table.
+func runChaosCase(c ChaosCase, extra []telemetry.Sink) (*ChaosOutcome, error) {
 	kind, err := workload.ParseKind(c.Variant)
 	if err != nil {
 		return nil, err
@@ -111,6 +119,9 @@ func RunChaosCase(c ChaosCase) (*ChaosOutcome, error) {
 	sched := sim.NewScheduler(c.Seed)
 	ring := telemetry.NewRing(512)
 	bus := telemetry.NewBus(ring)
+	for _, s := range extra {
+		bus.Subscribe(s)
+	}
 	checker := invariant.NewChecker(sched, bus)
 	bus.Subscribe(checker)
 	// Stop the run at the first violation so the ring tail ends at the
@@ -178,6 +189,14 @@ type ChaosConfig struct {
 	Horizon sim.Time `json:"horizonNs"`
 	// BundleDir, when set, receives a repro bundle per violating case.
 	BundleDir string `json:"bundleDir,omitempty"`
+	// FlowStats enables the aggregate flow-analytics layer: each case
+	// folds its flow lifecycle events into a flowstats.FlowTable and the
+	// result carries the merged Summary (see FlowReport), byte-identical
+	// at any worker count.
+	FlowStats bool `json:"flowStats,omitempty"`
+	// FlowExemplars caps the reservoir of exemplar flows each case's
+	// table retains in full detail (0: aggregates only).
+	FlowExemplars int `json:"flowExemplars,omitempty"`
 	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
 	Parallel int `json:"-"`
 }
@@ -221,6 +240,18 @@ type ChaosResult struct {
 	Config   ChaosConfig         `json:"config"`
 	Stats    []ChaosVariantStats `json:"stats"`
 	Failures []ChaosFailure      `json:"failures,omitempty"`
+	// Flows is the merged flow-analytics summary across cases, set when
+	// Config.FlowStats is on.
+	Flows *flowstats.Summary `json:"flows,omitempty"`
+}
+
+// FlowReport computes the flow-analytics report, or a zero report when
+// flow stats were not enabled.
+func (r *ChaosResult) FlowReport() flowstats.Report {
+	if r.Flows == nil {
+		return flowstats.Report{}
+	}
+	return r.Flows.Report()
 }
 
 // Violated reports the total number of violating runs.
@@ -280,6 +311,7 @@ type chaosOut struct {
 	Finished   bool
 	Violations []invariant.Violation
 	Events     []telemetry.Event
+	Flow       *flowstats.Summary `json:",omitempty"`
 }
 
 // DecodeResult implements ResultCodec: it reconstructs one job's
@@ -297,20 +329,35 @@ func (e *ChaosExperiment) DecodeResult(data []byte) (any, error) {
 
 // Jobs implements Experiment.
 func (e *ChaosExperiment) Jobs() ([]sweep.Job, error) {
-	variants := len(e.cfg.Variants)
+	cfg := e.cfg
+	variants := len(cfg.Variants)
 	jobs := make([]sweep.Job, len(e.cases))
 	for i, c := range e.cases {
 		jobs[i] = sweep.Job{
 			Name: fmt.Sprintf("s%d %s", i/variants, c.Variant),
 			Seed: c.Seed,
 			Run: func(int64) (any, error) {
-				out, err := RunChaosCase(c)
+				var table *flowstats.FlowTable
+				var extra []telemetry.Sink
+				if cfg.FlowStats {
+					table = flowstats.New(flowstats.Config{
+						Exemplars: cfg.FlowExemplars,
+						Seed:      c.Seed,
+					})
+					extra = append(extra, table)
+				}
+				out, err := runChaosCase(c, extra)
 				if err != nil {
 					return nil, fmt.Errorf("chaos: schedule %d, %s: %w", i/variants, c.Variant, err)
 				}
 				o := chaosOut{Finished: out.Finished, Violations: out.Violations}
 				if len(out.Violations) > 0 {
 					o.Events = out.Events
+				}
+				if table != nil {
+					table.Finalize()
+					s := table.Summary()
+					o.Flow = &s
 				}
 				return o, nil
 			},
@@ -339,6 +386,12 @@ func (e *ChaosExperiment) Reduce(results []any) (Renderable, error) {
 		stats[i].Runs++
 		if out.Finished {
 			stats[i].Finished++
+		}
+		if out.Flow != nil {
+			if res.Flows == nil {
+				res.Flows = &flowstats.Summary{}
+			}
+			res.Flows.Merge(*out.Flow)
 		}
 		if len(out.Violations) > 0 {
 			stats[i].Violated++
@@ -379,6 +432,10 @@ func (r *ChaosResult) Render() string {
 			fmt.Fprintf(&b, " (bundle: %s)", f.Bundle)
 		}
 		b.WriteByte('\n')
+	}
+	if r.Flows != nil {
+		b.WriteByte('\n')
+		b.WriteString(r.Flows.Report().Render())
 	}
 	return b.String()
 }

@@ -10,6 +10,7 @@ import (
 	"rrtcp/internal/sweep"
 	"rrtcp/internal/tcp"
 	"rrtcp/internal/telemetry"
+	"rrtcp/internal/telemetry/flowstats"
 	"rrtcp/internal/trace"
 	"rrtcp/internal/workload"
 )
@@ -43,6 +44,15 @@ type Figure5Config struct {
 	// Sampler (cwnd, ssthresh, srtt, rto, flight, actnum, bottleneck
 	// occupancy) when Telemetry is enabled. Defaults to 10ms.
 	SampleEvery sim.Time `json:"-"`
+	// FlowStats enables the aggregate flow-analytics layer: each job
+	// folds its flow lifecycle events into a flowstats.FlowTable and the
+	// result carries the merged Summary (see FlowReport). Aggregation is
+	// per-job and merged in variant order, so the report is byte-identical
+	// at any worker count.
+	FlowStats bool `json:"flowStats,omitempty"`
+	// FlowExemplars caps the reservoir of exemplar flows each job's
+	// table retains in full detail (0: aggregates only).
+	FlowExemplars int `json:"flowExemplars,omitempty"`
 	// Parallel bounds the sweep worker pool (<= 0: GOMAXPROCS).
 	Parallel int `json:"-"`
 }
@@ -103,6 +113,18 @@ type Figure5Row struct {
 type Figure5Result struct {
 	Config Figure5Config `json:"config"`
 	Rows   []Figure5Row  `json:"rows"`
+	// Flows is the merged flow-analytics summary across variants, set
+	// when Config.FlowStats is on.
+	Flows *flowstats.Summary `json:"flows,omitempty"`
+}
+
+// FlowReport computes the flow-analytics report, or a zero report when
+// flow stats were not enabled.
+func (r *Figure5Result) FlowReport() flowstats.Report {
+	if r.Flows == nil {
+		return flowstats.Report{}
+	}
+	return r.Flows.Report()
 }
 
 // Figure5 runs the burst-loss comparison for one drop count.
@@ -137,10 +159,12 @@ func NewFigure5Experiment(cfg Figure5Config) *Figure5Experiment {
 // Name implements Experiment.
 func (e *Figure5Experiment) Name() string { return "fig5" }
 
-// figure5Out is one variant's outcome plus its captured event stream.
+// figure5Out is one variant's outcome plus its captured event stream
+// and, when flow analytics are on, the variant's flow summary.
 type figure5Out struct {
 	Row    Figure5Row
 	Events []telemetry.Event
+	Flow   *flowstats.Summary `json:",omitempty"`
 }
 
 // DecodeResult implements ResultCodec: it reconstructs one job's
@@ -167,10 +191,22 @@ func (e *Figure5Experiment) Jobs() ([]sweep.Job, error) {
 			Seed: cfg.Seed,
 			Run: func(int64) (any, error) {
 				var ring *telemetry.Ring
-				var bus *telemetry.Bus
+				var table *flowstats.FlowTable
+				var sinks []telemetry.Sink
 				if capture {
 					ring = telemetry.NewRing(0)
-					bus = telemetry.NewBus(ring)
+					sinks = append(sinks, ring)
+				}
+				if cfg.FlowStats {
+					table = flowstats.New(flowstats.Config{
+						Exemplars: cfg.FlowExemplars,
+						Seed:      cfg.Seed,
+					})
+					sinks = append(sinks, table)
+				}
+				var bus *telemetry.Bus
+				if len(sinks) > 0 {
+					bus = telemetry.NewBus(sinks...)
 				}
 				row, err := figure5Run(cfg, kind, bus)
 				if err != nil {
@@ -179,6 +215,11 @@ func (e *Figure5Experiment) Jobs() ([]sweep.Job, error) {
 				out := figure5Out{Row: row}
 				if ring != nil {
 					out.Events = ring.Events()
+				}
+				if table != nil {
+					table.Finalize()
+					s := table.Summary()
+					out.Flow = &s
 				}
 				return out, nil
 			},
@@ -199,6 +240,12 @@ func (e *Figure5Experiment) Reduce(results []any) (Renderable, error) {
 		res.Rows = append(res.Rows, out.Row)
 		for _, ev := range out.Events {
 			e.cfg.Telemetry.Publish(ev)
+		}
+		if out.Flow != nil {
+			if res.Flows == nil {
+				res.Flows = &flowstats.Summary{}
+			}
+			res.Flows.Merge(*out.Flow)
 		}
 	}
 	return res, nil
@@ -315,6 +362,9 @@ func (r *Figure5Result) Render() string {
 		}
 		t.AddRow(row.Variant.String(), delay, goodput, rec,
 			fmt.Sprintf("%d", row.Timeouts), fmt.Sprintf("%d", row.Retransmits))
+	}
+	if r.Flows != nil {
+		return t.String() + "\n" + r.Flows.Report().Render()
 	}
 	return t.String()
 }

@@ -66,6 +66,11 @@ type Options struct {
 	MaxEvents    uint64
 	MaxWall      time.Duration
 	MaxHeapBytes uint64
+	// FlowStats enables the aggregate flow-analytics layer where an
+	// experiment supports it (fig5, chaos, stress); FlowExemplars caps
+	// the reservoir of fully-detailed exemplar flows.
+	FlowStats     bool
+	FlowExemplars int
 }
 
 // Builder constructs an Experiment from shared options.
@@ -87,6 +92,7 @@ var registry = []Registration{
 	{"fig5", "Figure 5: drop-tail burst-loss throughput", func(o Options) (Experiment, error) {
 		return NewFigure5Experiment(Figure5Config{
 			Drops: o.Drops, Seed: o.Seed, Variants: o.Variants, Telemetry: o.Telemetry,
+			FlowStats: o.FlowStats, FlowExemplars: o.FlowExemplars,
 		}), nil
 	}},
 	{"fig6", "Figure 6: RED-gateway sequence traces", func(o Options) (Experiment, error) {
@@ -126,6 +132,7 @@ var registry = []Registration{
 		return NewChaosExperiment(ChaosConfig{
 			Schedules: o.Runs, Seed: o.Seed, Variants: o.Variants,
 			Bytes: o.Bytes, Horizon: o.Horizon, BundleDir: o.BundleDir,
+			FlowStats: o.FlowStats, FlowExemplars: o.FlowExemplars,
 		}), nil
 	}},
 	{"stress", "overload soak: many-flow cells under chaos, budgets, and graceful degradation", func(o Options) (Experiment, error) {
@@ -133,6 +140,7 @@ var registry = []Registration{
 			Cells: o.Cells, Flows: o.Flows, Seed: o.Seed, Bytes: o.Bytes,
 			Horizon: o.Horizon, Variants: o.Variants, Telemetry: o.Telemetry,
 			MaxEvents: o.MaxEvents, MaxWall: o.MaxWall, MaxHeapBytes: o.MaxHeapBytes,
+			FlowStats: o.FlowStats, FlowExemplars: o.FlowExemplars,
 		}), nil
 	}},
 }

@@ -14,6 +14,7 @@ import (
 	"rrtcp/internal/sim"
 	"rrtcp/internal/sweep"
 	"rrtcp/internal/telemetry"
+	"rrtcp/internal/telemetry/flowstats"
 	"rrtcp/internal/workload"
 )
 
@@ -53,6 +54,16 @@ type StressConfig struct {
 	// TelemetryBudget bounds each cell's event stream through a
 	// BoundedSink (SampleOneInK past the budget); zero selects 10000.
 	TelemetryBudget uint64 `json:"telemetryBudget,omitempty"`
+
+	// FlowStats enables the aggregate flow-analytics layer: each cell
+	// folds its flow lifecycle events into a flowstats.FlowTable —
+	// subscribed directly on the bus, ahead of the BoundedSink's
+	// sampling, so the accounting stays exact under overload — and the
+	// result carries the merged Summary (see FlowReport).
+	FlowStats bool `json:"flowStats,omitempty"`
+	// FlowExemplars caps the reservoir of exemplar flows each cell's
+	// table retains in full detail (0: aggregates only).
+	FlowExemplars int `json:"flowExemplars,omitempty"`
 
 	// Telemetry, when non-nil, receives each cell's final overload and
 	// drop accounting, republished in cell order by Reduce.
@@ -108,6 +119,10 @@ type StressCell struct {
 	// Degraded names the tripped resource ("events", "event-storm",
 	// "liveness", ...) for a cell that blew its budget; empty otherwise.
 	Degraded string `json:"degraded,omitempty"`
+	// Flow is the cell's flow-analytics summary, set when
+	// StressConfig.FlowStats is on. Degraded cells carry it too — the
+	// accounting up to the budget trip.
+	Flow *flowstats.Summary `json:"flow,omitempty"`
 }
 
 // CellOverload is the error a budget-tripped cell returns: it carries
@@ -140,6 +155,14 @@ func runStressCell(cfg StressConfig, index int, seed int64) (StressCell, error) 
 		Src:       fmt.Sprintf("cell%d", index),
 	})
 	bus := telemetry.NewBus(bounded)
+	var table *flowstats.FlowTable
+	if cfg.FlowStats {
+		table = flowstats.New(flowstats.Config{
+			Exemplars: cfg.FlowExemplars,
+			Seed:      seed,
+		})
+		bus.Subscribe(table)
+	}
 	checker := invariant.NewChecker(sched, bus)
 	bus.Subscribe(checker)
 
@@ -216,6 +239,11 @@ func runStressCell(cfg StressConfig, index int, seed int64) (StressCell, error) 
 			cell.Violations++
 		}
 	}
+	if table != nil {
+		table.Flush(sched.Now())
+		s := table.Summary()
+		cell.Flow = &s
+	}
 
 	// Degradation priority: a guard trip explains the run ending early
 	// and wins; a liveness stall with no guard trip degrades too (the
@@ -245,6 +273,18 @@ type StressResult struct {
 	TotalDropped uint64 `json:"totalDropped"`
 	Violations   int    `json:"violations"`
 	Stalls       int    `json:"stalls"`
+	// Flows is the merged flow-analytics summary across cells, set when
+	// Config.FlowStats is on.
+	Flows *flowstats.Summary `json:"flows,omitempty"`
+}
+
+// FlowReport computes the flow-analytics report, or a zero report when
+// flow stats were not enabled.
+func (r *StressResult) FlowReport() flowstats.Report {
+	if r.Flows == nil {
+		return flowstats.Report{}
+	}
+	return r.Flows.Report()
 }
 
 // StressDegrade records why one cell degraded.
@@ -286,6 +326,10 @@ func (r *StressResult) Render() string {
 	}
 	if r.Stalls > 0 {
 		fmt.Fprintf(&b, "liveness: %d stalled-flow detections\n", r.Stalls)
+	}
+	if r.Flows != nil {
+		b.WriteByte('\n')
+		b.WriteString(r.Flows.Report().Render())
 	}
 	return b.String()
 }
@@ -368,6 +412,12 @@ func (e *StressExperiment) Reduce(results []any) (Renderable, error) {
 		res.TotalDropped += cell.TelemetryDropped
 		res.Violations += cell.Violations
 		res.Stalls += cell.Stalls
+		if cell.Flow != nil {
+			if res.Flows == nil {
+				res.Flows = &flowstats.Summary{}
+			}
+			res.Flows.Merge(*cell.Flow)
+		}
 
 		if cfg.Telemetry.Enabled() {
 			if cell.TelemetryDropped > 0 {

@@ -7,6 +7,9 @@
 //	              simulator totals (events and packets so far)
 //	/progress     JSON snapshot of live sweep state (jobs completed,
 //	              per-worker utilization) from a telemetry.ProgressState
+//	/flows        JSON snapshot of flow analytics (live/completed
+//	              counts, per-variant FCT quantiles, goodput, Jain
+//	              fairness) from a flowstats.FlowTable
 //	/healthz      liveness: {"status":"ok","uptime_s":...}
 //	/debug/pprof  the standard runtime profiler endpoints
 //
@@ -33,15 +36,18 @@ import (
 
 	"rrtcp/internal/sim"
 	"rrtcp/internal/telemetry"
+	"rrtcp/internal/telemetry/flowstats"
 )
 
-// Config wires the server's data sources. Either field may be nil; the
+// Config wires the server's data sources. Any field may be nil; the
 // corresponding endpoint then serves an empty-but-valid document.
 type Config struct {
 	// Registry is the live metrics store behind /metrics.
 	Registry *telemetry.Registry
 	// Progress is the live sweep state behind /progress.
 	Progress *telemetry.ProgressState
+	// Flows is the live flow-analytics table behind /flows.
+	Flows *flowstats.FlowTable
 }
 
 // Server is the introspection HTTP server. Construct with New, then
@@ -134,6 +140,7 @@ func (s *Server) mux() *http.ServeMux {
 	m := http.NewServeMux()
 	m.HandleFunc("/metrics", s.handleMetrics)
 	m.HandleFunc("/progress", s.handleProgress)
+	m.HandleFunc("/flows", s.handleFlows)
 	m.HandleFunc("/healthz", s.handleHealthz)
 	m.HandleFunc("/debug/pprof/", pprof.Index)
 	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -174,6 +181,13 @@ func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(s.cfg.Progress.Snapshot()) // nil-safe: zero snapshot
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.cfg.Flows.Report()) // nil-safe: zero report
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -9,8 +9,10 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"rrtcp/internal/sim"
 	"rrtcp/internal/sweep"
 	"rrtcp/internal/telemetry"
+	"rrtcp/internal/telemetry/flowstats"
 )
 
 func get(t *testing.T, url string) (int, []byte) {
@@ -325,5 +327,99 @@ func TestServerCloseGraceful(t *testing.T) {
 	// The listener is really gone.
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
 		t.Fatal("server still serving after Close")
+	}
+}
+
+// TestFlowsScrapeDuringParallelSweep extends the live-introspection
+// race check to the flow-analytics table: sweep workers complete flows
+// into a shared FlowTable while an HTTP client hammers /flows. Under
+// -race this proves a scrape never tears against Emit's folding;
+// functionally every mid-run body must be a well-formed report and the
+// final scrape must carry the exact flow counts.
+func TestFlowsScrapeDuringParallelSweep(t *testing.T) {
+	table := flowstats.New(flowstats.Config{Exemplars: 4, Seed: 1})
+	srv := New(Config{Flows: table})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr
+
+	var stop atomic.Bool
+	scraped := make(chan error, 1)
+	go func() {
+		var firstErr error
+		for !stop.Load() {
+			resp, err := http.Get(base + "/flows")
+			if err != nil {
+				continue
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil || firstErr != nil {
+				continue
+			}
+			var r flowstats.Report
+			if jerr := json.Unmarshal(body, &r); jerr != nil {
+				firstErr = fmt.Errorf("mid-sweep /flows not a report: %w\n%s", jerr, body)
+			} else if r.Completed > r.Started {
+				firstErr = fmt.Errorf("mid-sweep /flows inconsistent: %d completed of %d started", r.Completed, r.Started)
+			}
+		}
+		scraped <- firstErr
+	}()
+
+	// Each job completes a block of flows through the shared table —
+	// the live-monitoring topology, where one table watches all
+	// workers (the deterministic reduction path uses private tables).
+	// All events share one timestamp: workers interleave arbitrarily,
+	// and a rewinding clock would read as a new stream segment.
+	const jobs, perJob = 16, 50
+	const at = sim.Time(1e6)
+	bus := telemetry.NewBus(table)
+	js := make([]sweep.Job, jobs)
+	for i := range js {
+		i := i
+		js[i] = sweep.Job{
+			Name: fmt.Sprintf("flows%d", i),
+			Run: func(seed int64) (any, error) {
+				variant := "rr"
+				if i%2 == 1 {
+					variant = "reno"
+				}
+				for k := 0; k < perJob; k++ {
+					id := int32(i*perJob + k)
+					bus.Publish(telemetry.Event{At: at, Comp: telemetry.CompSender,
+						Kind: telemetry.KFlowStart, Src: variant, Flow: id, Seq: 1000})
+					bus.Publish(telemetry.Event{At: at, Comp: telemetry.CompSender,
+						Kind: telemetry.KFlowStats, Src: variant, Flow: id, Seq: 1000, A: 1})
+				}
+				return i, nil
+			},
+		}
+	}
+	if _, err := sweep.Run(sweep.Config{Name: "flows-scrape", Workers: 4}, js); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	if err := <-scraped; err != nil {
+		t.Error(err)
+	}
+
+	code, body := get(t, base+"/flows")
+	if code != http.StatusOK {
+		t.Fatalf("/flows status %d", code)
+	}
+	var final flowstats.Report
+	if err := json.Unmarshal(body, &final); err != nil {
+		t.Fatalf("/flows not JSON: %v\n%s", err, body)
+	}
+	if final.Started != jobs*perJob || final.Completed != jobs*perJob {
+		t.Errorf("final /flows counts %d/%d, want %d/%d",
+			final.Completed, final.Started, jobs*perJob, jobs*perJob)
+	}
+	if len(final.Variants) != 2 {
+		t.Errorf("final /flows has %d variants, want 2", len(final.Variants))
 	}
 }

@@ -1,6 +1,10 @@
 package stats
 
-import "math"
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
 
 // LogHistogram is a log-bucketed histogram in the HDR-histogram family:
 // fixed-size counters over geometrically spaced buckets, so recording
@@ -159,6 +163,51 @@ func (h *LogHistogram) Quantile(p float64) float64 {
 		cum += c
 	}
 	return h.max
+}
+
+// logHistJSON is the wire form of a LogHistogram: the scalar summary
+// plus a sparse [index, count, index, count, ...] pair list, so an
+// empty or narrow histogram costs a few bytes instead of 2562 zeros.
+type logHistJSON struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON encodes the histogram sparsely. It is a value-receiver
+// method so histograms embedded by value in result structs round-trip
+// through encoding/json regardless of addressability.
+func (h LogHistogram) MarshalJSON() ([]byte, error) {
+	out := logHistJSON{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.counts {
+		if c != 0 {
+			out.Buckets = append(out.Buckets, uint64(i), c)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; it replaces the
+// receiver's contents.
+func (h *LogHistogram) UnmarshalJSON(data []byte) error {
+	var in logHistJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Buckets)%2 != 0 {
+		return fmt.Errorf("stats: odd bucket pair list (len %d)", len(in.Buckets))
+	}
+	*h = LogHistogram{count: in.Count, sum: in.Sum, min: in.Min, max: in.Max}
+	for i := 0; i < len(in.Buckets); i += 2 {
+		idx := in.Buckets[i]
+		if idx >= logBuckets {
+			return fmt.Errorf("stats: bucket index %d out of range", idx)
+		}
+		h.counts[idx] = in.Buckets[i+1]
+	}
+	return nil
 }
 
 // Merge folds the samples of o into h. Sums and counts stay exact;

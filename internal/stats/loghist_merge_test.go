@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// histJSON renders a histogram through its JSON codec; byte equality of
+// two renderings implies equality of every bucket plus the exact
+// count/sum/min/max fields.
+func histJSON(t *testing.T, h *LogHistogram) []byte {
+	t.Helper()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}
+
+// histDoc is the decoded JSON shape, used to compare histograms
+// structurally: buckets, count, min, and max must match exactly, while
+// sum — a float accumulated in observation order — may differ in the
+// last bits between merge orders.
+type histDoc struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+func requireSameHist(t *testing.T, got, want *LogHistogram) {
+	t.Helper()
+	var g, w histDoc
+	if err := json.Unmarshal(histJSON(t, got), &g); err != nil {
+		t.Fatalf("decode got: %v", err)
+	}
+	if err := json.Unmarshal(histJSON(t, want), &w); err != nil {
+		t.Fatalf("decode want: %v", err)
+	}
+	if g.Count != w.Count || g.Min != w.Min || g.Max != w.Max {
+		t.Fatalf("stats differ: count %d/%d min %v/%v max %v/%v",
+			g.Count, w.Count, g.Min, w.Min, g.Max, w.Max)
+	}
+	if !reflect.DeepEqual(g.Buckets, w.Buckets) {
+		t.Fatalf("buckets differ:\n got %v\nwant %v", g.Buckets, w.Buckets)
+	}
+	if diff := math.Abs(g.Sum - w.Sum); diff > 1e-9*math.Abs(w.Sum) {
+		t.Fatalf("sums diverge beyond rounding: %v vs %v", g.Sum, w.Sum)
+	}
+}
+
+// Merging the parts of a partitioned sample set must reproduce the
+// whole histogram bucket-for-bucket, and therefore every quantile —
+// the property the parallel sweep's flow-report reduction rests on.
+func TestLogHistogramMergeOfPartsEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	whole := NewLogHistogram()
+	parts := make([]*LogHistogram, 4)
+	for i := range parts {
+		parts[i] = NewLogHistogram()
+	}
+	for i := 0; i < 10000; i++ {
+		// Mixed magnitudes, including sub-one values and a heavy tail.
+		v := math.Exp(rng.NormFloat64()*4 - 2)
+		whole.Observe(v)
+		parts[i%len(parts)].Observe(v)
+	}
+
+	merged := NewLogHistogram()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+
+	requireSameHist(t, merged, whole)
+	for _, q := range []float64{0, 1, 10, 50, 90, 99, 99.9, 100} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v after merge, want %v", q, got, want)
+		}
+	}
+}
+
+// Merge order must not matter structurally: fold the same parts forward
+// and backward and compare buckets and quantiles.
+func TestLogHistogramMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]*LogHistogram, 5)
+	for i := range parts {
+		parts[i] = NewLogHistogram()
+		for j := 0; j < 500; j++ {
+			parts[i].Observe(rng.ExpFloat64() * float64(i+1))
+		}
+	}
+	fwd, bwd := NewLogHistogram(), NewLogHistogram()
+	for i := range parts {
+		fwd.Merge(parts[i])
+		bwd.Merge(parts[len(parts)-1-i])
+	}
+	requireSameHist(t, fwd, bwd)
+	for _, q := range []float64{1, 50, 99} {
+		if got, want := fwd.Quantile(q), bwd.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) order-dependent: %v vs %v", q, got, want)
+		}
+	}
+}
+
+// Merging an empty histogram is the identity in both directions, and
+// byte-exact: no floats are touched.
+func TestLogHistogramMergeEmptyIdentity(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{0.5, 3, 3, 42} {
+		h.Observe(v)
+	}
+	before := histJSON(t, h)
+
+	h.Merge(NewLogHistogram())
+	if got := histJSON(t, h); !bytes.Equal(got, before) {
+		t.Fatalf("merging empty changed histogram: %s -> %s", before, got)
+	}
+
+	e := NewLogHistogram()
+	e.Merge(h)
+	if got := histJSON(t, e); !bytes.Equal(got, before) {
+		t.Fatalf("merging into empty lost data: %s != %s", got, before)
+	}
+	if e.Count() != 4 || e.Min() != 0.5 || e.Max() != 42 {
+		t.Fatalf("merged stats: count=%d min=%v max=%v", e.Count(), e.Min(), e.Max())
+	}
+}
+
+// Values past the bucket range clamp into the edge buckets; merging
+// clamped histograms must behave like observing the same values into
+// one histogram.
+func TestLogHistogramMergeOverflowEdges(t *testing.T) {
+	extremes := []float64{1e-300, 1e300, -5, 0, math.SmallestNonzeroFloat64, 1e307}
+	whole := NewLogHistogram()
+	a, b := NewLogHistogram(), NewLogHistogram()
+	for i, v := range extremes {
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	requireSameHist(t, a, whole)
+	if got, want := a.Quantile(100), whole.Quantile(100); got != want {
+		t.Fatalf("Quantile(100) = %v, want %v", got, want)
+	}
+}
+
+// The JSON codec must round-trip exactly, including by-value fields of
+// an enclosing struct (how flow summaries carry their histograms
+// through the checkpoint journal).
+func TestLogHistogramJSONRoundTrip(t *testing.T) {
+	h := NewLogHistogram()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		h.Observe(rng.ExpFloat64())
+	}
+	type carrier struct {
+		H LogHistogram `json:"h"`
+	}
+	data, err := json.Marshal(carrier{H: *h})
+	if err != nil {
+		t.Fatalf("marshal carrier: %v", err)
+	}
+	var back carrier
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal carrier: %v", err)
+	}
+	if got, want := histJSON(t, &back.H), histJSON(t, h); !bytes.Equal(got, want) {
+		t.Fatalf("round trip changed histogram:\n got %s\nwant %s", got, want)
+	}
+	if back.H.Count() != h.Count() || back.H.Sum() != h.Sum() {
+		t.Fatalf("round trip stats: count %d/%d sum %v/%v",
+			back.H.Count(), h.Count(), back.H.Sum(), h.Sum())
+	}
+}
+
+// An empty histogram serializes compactly and round-trips to empty.
+func TestLogHistogramJSONEmpty(t *testing.T) {
+	data := histJSON(t, NewLogHistogram())
+	var h LogHistogram
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if h.Count() != 0 {
+		t.Fatalf("empty round trip has count %d", h.Count())
+	}
+}
+
+// Malformed bucket payloads must be rejected, not silently truncated.
+func TestLogHistogramJSONMalformed(t *testing.T) {
+	cases := []string{
+		`{"count":1,"sum":1,"min":1,"max":1,"buckets":[1]}`,          // odd pairs
+		`{"count":1,"sum":1,"min":1,"max":1,"buckets":[99999999,1]}`, // index out of range
+	}
+	for _, c := range cases {
+		var h LogHistogram
+		if err := json.Unmarshal([]byte(c), &h); err == nil {
+			t.Errorf("unmarshal %s succeeded, want error", c)
+		}
+	}
+}

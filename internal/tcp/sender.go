@@ -137,6 +137,13 @@ type Sender struct {
 	rttSentAt  sim.Time
 	rttPending bool
 
+	// Flow-lifecycle accounting for the flow-done event: counters cost
+	// an integer increment on paths that already publish telemetry, so
+	// aggregate flow analytics need not retain the event stream.
+	startedAt    sim.Time
+	rtxCount     uint32
+	timeoutCount uint32
+
 	started bool
 	done    bool
 }
@@ -176,9 +183,33 @@ func (s *Sender) Start(delay sim.Time) error {
 
 // onStart fires when the configured start delay elapses.
 func (s *Sender) onStart() {
-	s.tr.SetStart(s.sched.Now())
+	s.startedAt = s.sched.Now()
+	s.tr.SetStart(s.startedAt)
+	if s.bus.Enabled() {
+		// Built inline rather than via Emit: lifecycle events carry the
+		// variant name in Src so flow-level sinks can aggregate per
+		// variant without a side table.
+		s.bus.Publish(telemetry.Event{
+			At:   s.startedAt,
+			Comp: telemetry.CompSender,
+			Kind: telemetry.KFlowStart,
+			Src:  s.strat.Name(),
+			Flow: int32(s.cfg.Flow),
+			A:    float64(s.cfg.TotalBytes),
+		})
+	}
 	s.PumpWindow()
 }
+
+// StartedAt returns the simulated instant transmission began (zero
+// until the start delay elapses).
+func (s *Sender) StartedAt() sim.Time { return s.startedAt }
+
+// Retransmits returns the cumulative retransmission count.
+func (s *Sender) Retransmits() uint32 { return s.rtxCount }
+
+// Timeouts returns the cumulative retransmission-timer expirations.
+func (s *Sender) Timeouts() uint32 { return s.timeoutCount }
 
 // --- accessors used by strategies and experiments ---
 
@@ -372,6 +403,21 @@ func (s *Sender) AdvanceUna(ackNo int64) {
 func (s *Sender) complete() {
 	s.done = true
 	s.rtxTimer.Stop()
+	// The accounting event precedes the lifecycle close so stream
+	// consumers (span assembly included) see "done" as the flow's final
+	// event.
+	if s.bus.Enabled() {
+		s.bus.Publish(telemetry.Event{
+			At:   s.sched.Now(),
+			Comp: telemetry.CompSender,
+			Kind: telemetry.KFlowStats,
+			Src:  s.strat.Name(),
+			Flow: int32(s.cfg.Flow),
+			Seq:  s.sndUna,
+			A:    float64(s.rtxCount),
+			B:    float64(s.timeoutCount),
+		})
+	}
 	s.Emit(telemetry.CompSender, telemetry.KFlowDone, s.sndUna, 0, 0)
 	if s.cfg.OnDone != nil {
 		s.cfg.OnDone()
@@ -485,6 +531,7 @@ func (s *Sender) transmit(seq int64, n int, rtx bool) {
 	p.Size = n
 	p.Retransmit = rtx
 	if rtx {
+		s.rtxCount++
 		s.Emit(telemetry.CompSender, telemetry.KRetransmit, seq, 0, 0)
 	} else {
 		s.Emit(telemetry.CompSender, telemetry.KSend, seq, 0, 0)
@@ -529,6 +576,7 @@ func (s *Sender) onTimeout() {
 	if s.done {
 		return
 	}
+	s.timeoutCount++
 	s.Emit(telemetry.CompSender, telemetry.KTimeout, s.sndUna, 0, 0)
 	flight := s.FlightPackets()
 	if flight < 2 {

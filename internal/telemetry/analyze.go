@@ -49,6 +49,7 @@ func (e Episode) ProbeDur() float64 {
 // FlowSummary aggregates one flow's events.
 type FlowSummary struct {
 	Flow        int32
+	Variant     string // from the flow-start lifecycle event, "" in older logs
 	Sends       int
 	Retransmits int
 	Timeouts    int
@@ -144,13 +145,18 @@ type SchedStats struct {
 type LogSummary struct {
 	From, To float64
 	Events   int
-	Flows    []FlowSummary        // sorted by flow id
-	Queues   []QueueDrops         // sorted by comp then src
-	Samples  []SampleStats        // sorted by comp, src, flow
-	Sweeps   []SweepStats         // in log order
-	Overload []OverloadStats      // sorted by resource
-	Drops    []TelemetryDropStats // sorted by src
-	Sched    SchedStats
+	// FlowsStarted / FlowsCompleted count the flow-start / flow-done
+	// lifecycle events — at scale the log may carry only those (plus
+	// aggregates) rather than the full per-flow streams.
+	FlowsStarted   int
+	FlowsCompleted int
+	Flows          []FlowSummary        // sorted by flow id
+	Queues         []QueueDrops         // sorted by comp then src
+	Samples        []SampleStats        // sorted by comp, src, flow
+	Sweeps         []SweepStats         // in log order
+	Overload       []OverloadStats      // sorted by resource
+	Drops          []TelemetryDropStats // sorted by src
+	Sched          SchedStats
 }
 
 // Summarize reconstructs per-flow recovery episodes and per-queue drop
@@ -337,6 +343,18 @@ func Summarize(records []Record) LogSummary {
 		case KFlowDone.String():
 			f.Done = true
 			f.DoneAt = r.T
+		case KFlowStart.String():
+			sum.FlowsStarted++
+			f.Variant = r.Src
+		case KFlowStats.String():
+			sum.FlowsCompleted++
+			if f.Variant == "" {
+				f.Variant = r.Src
+			}
+			f.Done = true
+			if f.DoneAt < 0 {
+				f.DoneAt = r.T
+			}
 		case KRecoveryEnter.String():
 			open[r.Flow] = &Episode{Flow: r.Flow, Start: r.T, ProbeAt: -1, End: -1}
 		case KRetreatProbe.String():
@@ -412,7 +430,11 @@ func Summarize(records []Record) LogSummary {
 // Render formats the summary as the tables rrtrace prints.
 func (s LogSummary) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d events over %.3fs..%.3fs\n\n", s.Events, s.From, s.To)
+	fmt.Fprintf(&b, "%d events over %.3fs..%.3fs\n", s.Events, s.From, s.To)
+	if s.FlowsStarted > 0 || s.FlowsCompleted > 0 {
+		fmt.Fprintf(&b, "flows: %d started, %d completed\n", s.FlowsStarted, s.FlowsCompleted)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-5s %-6s %-5s %-9s %-8s %-9s %s\n",
 		"flow", "sends", "rtx", "timeouts", "dupacks", "episodes", "done")
 	for _, f := range s.Flows {

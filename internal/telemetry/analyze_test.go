@@ -134,3 +134,34 @@ func TestTimeline(t *testing.T) {
 		t.Fatal("empty flow not reported")
 	}
 }
+
+// The summary learns the flow lifecycle kinds: flow-start carries the
+// variant name, flow-done counts completions, and both surface as the
+// "flows:" line of the rendering — the only per-flow signal present in
+// aggregate-scale logs.
+func TestSummarizeFlowLifecycle(t *testing.T) {
+	records := []Record{
+		{T: 0, Comp: "sender", Kind: "flow-start", Src: "rr", Flow: 0,
+			Attrs: map[string]float64{"bytes": 4000}},
+		{T: 0, Comp: "sender", Kind: "flow-start", Src: "reno", Flow: 1,
+			Attrs: map[string]float64{"bytes": 4000}},
+		{T: 1.5, Comp: "sender", Kind: "flow-done", Src: "rr", Flow: 0,
+			Attrs: map[string]float64{"rtx": 2, "timeouts": 0}},
+	}
+	sum := Summarize(records)
+	if sum.FlowsStarted != 2 || sum.FlowsCompleted != 1 {
+		t.Fatalf("lifecycle counts: started=%d completed=%d", sum.FlowsStarted, sum.FlowsCompleted)
+	}
+	if len(sum.Flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(sum.Flows))
+	}
+	if f := sum.Flows[0]; f.Variant != "rr" || !f.Done || f.DoneAt != 1.5 {
+		t.Fatalf("flow 0 summary wrong: %+v", f)
+	}
+	if f := sum.Flows[1]; f.Variant != "reno" || f.Done {
+		t.Fatalf("flow 1 summary wrong: %+v", f)
+	}
+	if out := sum.Render(); !strings.Contains(out, "flows: 2 started, 1 completed") {
+		t.Fatalf("render missing flows line:\n%s", out)
+	}
+}

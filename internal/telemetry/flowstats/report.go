@@ -1,0 +1,200 @@
+package flowstats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// VariantStats is one variant's row of a FlowReport: the headline
+// numbers computed from its Agg, shaped for JSON (the /flows
+// endpoint), text rendering, and CSV.
+type VariantStats struct {
+	Variant     string  `json:"variant"`
+	Started     uint64  `json:"started"`
+	Completed   uint64  `json:"completed"`
+	FCTP50S     float64 `json:"fctP50s"`
+	FCTP90S     float64 `json:"fctP90s"`
+	FCTP99S     float64 `json:"fctP99s"`
+	GoodputMean float64 `json:"goodputMeanBps"`
+	RtxMean     float64 `json:"rtxMean"`
+	Timeouts    uint64  `json:"timeouts"`
+	Episodes    uint64  `json:"episodes"`
+	Fairness    float64 `json:"fairnessMean"`
+}
+
+// Report is the rendered form of a Summary: per-variant FCT quantiles,
+// goodput, retransmission load, and windowed Jain fairness. It is what
+// /flows serves, what `rrtrace flows` prints, and what experiments
+// attach to their results.
+type Report struct {
+	Live      uint64 `json:"live"`
+	Started   uint64 `json:"started"`
+	Completed uint64 `json:"completed"`
+	Exemplars int    `json:"exemplars"`
+	// Fairness is the mean windowed Jain index across all flows;
+	// LastFairness the most recently closed window (live view).
+	Fairness     float64        `json:"fairnessMean"`
+	LastFairness float64        `json:"lastFairness"`
+	Variants     []VariantStats `json:"variants"`
+}
+
+// Report computes the headline numbers from a summary.
+func (s Summary) Report() Report {
+	r := Report{
+		Live:         s.Live,
+		Started:      s.Started,
+		Completed:    s.Completed,
+		Exemplars:    s.Exemplars,
+		LastFairness: s.LastFairness,
+	}
+	if s.Overall.Count() > 0 {
+		r.Fairness = s.Overall.Mean()
+	}
+	for i := range s.Variants {
+		a := &s.Variants[i]
+		vs := VariantStats{
+			Variant:   a.Variant,
+			Started:   a.Started,
+			Completed: a.Completed,
+			FCTP50S:   a.FCT.Quantile(50),
+			FCTP90S:   a.FCT.Quantile(90),
+			FCTP99S:   a.FCT.Quantile(99),
+			RtxMean:   a.Rtx.Mean(),
+			Timeouts:  a.Timeouts,
+			Episodes:  a.Episodes,
+		}
+		vs.GoodputMean = a.Goodput.Mean()
+		if a.Fairness.Count() > 0 {
+			vs.Fairness = a.Fairness.Mean()
+		}
+		r.Variants = append(r.Variants, vs)
+	}
+	return r
+}
+
+// Report snapshots the table and computes its report in one step.
+// A nil table yields a zero report, so the obs server can serve /flows
+// unconditionally.
+func (t *FlowTable) Report() Report {
+	if t == nil {
+		return Report{}
+	}
+	return t.Summary().Report()
+}
+
+// fmtSeconds renders a duration in seconds with stable precision.
+func fmtSeconds(s float64) string {
+	if s == 0 {
+		return "-"
+	}
+	if s < 1 {
+		return strconv.FormatFloat(s*1e3, 'f', 1, 64) + "ms"
+	}
+	return strconv.FormatFloat(s, 'f', 2, 64) + "s"
+}
+
+// fmtBps renders a bit rate with stable precision.
+func fmtBps(bps float64) string {
+	switch {
+	case bps == 0:
+		return "-"
+	case bps >= 1e6:
+		return strconv.FormatFloat(bps/1e6, 'f', 2, 64) + "Mbps"
+	case bps >= 1e3:
+		return strconv.FormatFloat(bps/1e3, 'f', 1, 64) + "Kbps"
+	default:
+		return strconv.FormatFloat(bps, 'f', 0, 64) + "bps"
+	}
+}
+
+// Render formats the report as an aligned text table. The output is a
+// pure function of the report values, so byte-identical summaries
+// render byte-identically.
+func (r Report) Render() string {
+	header := []string{"variant", "flows", "fct p50", "p90", "p99",
+		"goodput", "rtx/flow", "timeouts", "fairness"}
+	rows := [][]string{header}
+	for _, v := range r.Variants {
+		rows = append(rows, []string{
+			v.Variant,
+			fmt.Sprintf("%d/%d", v.Completed, v.Started),
+			fmtSeconds(v.FCTP50S),
+			fmtSeconds(v.FCTP90S),
+			fmtSeconds(v.FCTP99S),
+			fmtBps(v.GoodputMean),
+			strconv.FormatFloat(v.RtxMean, 'f', 2, 64),
+			strconv.FormatUint(v.Timeouts, 10),
+			strconv.FormatFloat(v.Fairness, 'f', 3, 64),
+		})
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flow report: %d started, %d completed, %d live",
+		r.Started, r.Completed, r.Live)
+	if r.Exemplars > 0 {
+		fmt.Fprintf(&b, ", %d exemplars", r.Exemplars)
+	}
+	if r.Fairness > 0 {
+		fmt.Fprintf(&b, ", fairness %s", strconv.FormatFloat(r.Fairness, 'f', 3, 64))
+	}
+	b.WriteByte('\n')
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV writes the per-variant rows as CSV with a header line.
+func (r Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"variant", "started", "completed",
+		"fct_p50_s", "fct_p90_s", "fct_p99_s", "goodput_mean_bps",
+		"rtx_mean", "timeouts", "episodes", "fairness_mean"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, v := range r.Variants {
+		if err := cw.Write([]string{
+			v.Variant,
+			strconv.FormatUint(v.Started, 10),
+			strconv.FormatUint(v.Completed, 10),
+			f(v.FCTP50S), f(v.FCTP90S), f(v.FCTP99S),
+			f(v.GoodputMean), f(v.RtxMean),
+			strconv.FormatUint(v.Timeouts, 10),
+			strconv.FormatUint(v.Episodes, 10),
+			f(v.Fairness),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

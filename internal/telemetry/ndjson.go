@@ -254,9 +254,9 @@ func DecodeNDJSONLenient(r io.Reader) ([]Record, DecodeStats, error) {
 			stats.FirstErr = fmt.Errorf("telemetry: line %d: %w", lineNo, err)
 		}
 	}
-	var buf []byte      // current line, accumulated across ReadSlice calls
-	overlong := false   // current line already past maxDecodeLine
-	var readErr error   // terminal I/O error, reported after the last line
+	var buf []byte    // current line, accumulated across ReadSlice calls
+	overlong := false // current line already past maxDecodeLine
+	var readErr error // terminal I/O error, reported after the last line
 	for {
 		chunk, err := br.ReadSlice('\n')
 		buf = append(buf, chunk...)

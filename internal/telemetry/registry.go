@@ -420,6 +420,11 @@ func (m *MetricsSink) Emit(ev Event) {
 		// sink's latest accounting.
 		m.R.SetGauge(srcKey("telemetry", ev.Src, "dropped_events"), ev.A)
 		m.R.SetGauge(srcKey("telemetry", ev.Src, "kept_events"), ev.B)
+	case KFlowStart:
+		m.R.Inc(srcKey("flows", ev.Src, "started"), 1)
+	case KFlowStats:
+		m.R.Inc(srcKey("flows", ev.Src, "completed"), 1)
+		m.R.ObserveLog(srcKey("flows", ev.Src, "rtx"), ev.A)
 	}
 }
 

@@ -180,10 +180,11 @@ func (s *SpanSink) Emit(ev Event) {
 	s.last = ev.At
 
 	// Connection lifetime: opened lazily by the first flow-scoped
-	// sender/receiver/RR event, closed by flow-done. Gauge samples are
-	// passive instrumentation, not connection activity — a sampler tick
-	// landing after flow-done must not resurrect the span.
-	if ev.Flow != NoFlow && ev.Kind != KSample {
+	// sender/receiver/RR event, closed by flow-done. Gauge samples and
+	// flow accounting are passive instrumentation, not connection
+	// activity — a sampler tick or a stats event landing after flow-done
+	// must not resurrect the span.
+	if ev.Flow != NoFlow && ev.Kind != KSample && ev.Kind != KFlowStats {
 		switch ev.Comp {
 		case CompSender, CompRecv, CompRR:
 			if s.conn[ev.Flow] == nil {

@@ -171,6 +171,17 @@ const (
 	KTelemetryDrops
 	KSweepDegraded
 
+	// Flow lifecycle accounting (the FlowReporter hook in the TCP
+	// sender, consumed by flowstats.FlowTable). KFlowStart fires when a
+	// sender begins transmitting (Src=variant name, A=application bytes
+	// to send, -1 for unbounded). KFlowStats fires alongside KFlowDone
+	// when the transfer completes, carrying the per-flow counters the
+	// aggregate layer needs without retaining the event stream
+	// (Src=variant name, Seq=bytes acknowledged, A=retransmissions,
+	// B=timeouts).
+	KFlowStart
+	KFlowStats
+
 	kindSentinel // keep last
 )
 
@@ -249,6 +260,10 @@ func (k Kind) String() string {
 		return "telemetry-drops"
 	case KSweepDegraded:
 		return "sweep-degraded"
+	case KFlowStart:
+		return "flow-start"
+	case KFlowStats:
+		return "flow-done"
 	default:
 		return "?"
 	}
@@ -314,6 +329,10 @@ func (k Kind) attrNames() (a, b string) {
 		return "observed", "limit"
 	case KTelemetryDrops:
 		return "dropped", "kept"
+	case KFlowStart:
+		return "bytes", ""
+	case KFlowStats:
+		return "rtx", "timeouts"
 	default:
 		return "", ""
 	}

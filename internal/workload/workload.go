@@ -139,6 +139,12 @@ type FlowSpec struct {
 	// Telemetry, when non-nil, receives the flow's structured events
 	// (sender, receiver, and recovery state machine).
 	Telemetry *telemetry.Bus
+	// NoTrace skips the per-flow FlowTrace ring entirely. Rings retain
+	// every event of the connection — O(events) memory per flow — which
+	// many-flow workloads replace with aggregate accounting (a
+	// flowstats.FlowTable on the Telemetry bus) plus its sampled
+	// exemplars.
+	NoTrace bool
 	// OnDone runs when the transfer completes.
 	OnDone func()
 }
@@ -193,7 +199,10 @@ func Install(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowSpec) (*
 	if err != nil {
 		return nil, err
 	}
-	tr := trace.New(idx, spec.Kind.String())
+	var tr *trace.FlowTrace // nil is a valid no-op trace
+	if !spec.NoTrace {
+		tr = trace.New(idx, spec.Kind.String())
+	}
 	recv := tcp.NewReceiver(sched, idx, d.ReceiverPort(idx), tr)
 	recv.SACKEnabled = spec.Kind.NeedsSACKReceiver()
 	recv.DelayedAck = spec.DelayedAck
@@ -235,7 +244,10 @@ func InstallReverse(sched *sim.Scheduler, d *netem.Dumbbell, idx int, spec FlowS
 	if err != nil {
 		return nil, err
 	}
-	tr := trace.New(idx, spec.Kind.String()+"-rev")
+	var tr *trace.FlowTrace
+	if !spec.NoTrace {
+		tr = trace.New(idx, spec.Kind.String()+"-rev")
+	}
 	// The receiver lives at the S side: its ACKs enter via SenderPort.
 	recv := tcp.NewReceiver(sched, idx, d.SenderPort(idx), tr)
 	recv.SACKEnabled = spec.Kind.NeedsSACKReceiver()

@@ -13,6 +13,7 @@ import (
 	"rrtcp/internal/stats"
 	"rrtcp/internal/sweep"
 	"rrtcp/internal/telemetry"
+	"rrtcp/internal/telemetry/flowstats"
 )
 
 // --- telemetry (structured events, metrics, sinks) ---
@@ -71,14 +72,48 @@ type (
 func NewProgressState() *ProgressState { return telemetry.NewProgressState() }
 
 // NewObsServer returns an unstarted introspection server over the
-// given sources; either may be nil. Call Start(addr) to serve.
-func NewObsServer(r *MetricsRegistry, p *ProgressState) *ObsServer {
-	return obs.New(obs.Config{Registry: r, Progress: p})
+// given sources; any may be nil. Call Start(addr) to serve.
+func NewObsServer(r *MetricsRegistry, p *ProgressState, f *FlowTable) *ObsServer {
+	return obs.New(obs.Config{Registry: r, Progress: p, Flows: f})
 }
 
 // ValidatePrometheus structurally checks Prometheus text-format
 // exposition output (the format /metrics serves).
 func ValidatePrometheus(data []byte) error { return telemetry.ValidatePrometheus(data) }
+
+// --- flow-scale analytics (aggregate accounting, exemplars, fairness) ---
+
+type (
+	// FlowTable is the constant-memory-per-flow analytics sink: it folds
+	// flow lifecycle events into per-variant aggregates (FCT, goodput,
+	// retransmissions, windowed Jain fairness) plus a seeded reservoir
+	// of fully-detailed exemplar flows. It is the data source behind the
+	// introspection server's /flows endpoint.
+	FlowTable = flowstats.FlowTable
+	// FlowStatsConfig parameterizes a FlowTable.
+	FlowStatsConfig = flowstats.Config
+	// FlowSummary is a FlowTable snapshot: the JSON-safe, mergeable unit
+	// parallel sweeps reduce in job order.
+	FlowSummary = flowstats.Summary
+	// FlowReport is the rendered form of a FlowSummary: per-variant FCT
+	// quantiles, goodput, and fairness, with text and CSV output.
+	FlowReport = flowstats.Report
+	// FlowVariantStats is one variant's row of a FlowReport.
+	FlowVariantStats = flowstats.VariantStats
+	// FlowExemplar is one reservoir-sampled flow retained in full ring
+	// detail.
+	FlowExemplar = flowstats.Exemplar
+)
+
+// NewFlowTable returns an empty flow-analytics table; subscribe it to a
+// telemetry bus. The zero FlowStatsConfig is valid (aggregates only).
+func NewFlowTable(cfg FlowStatsConfig) *FlowTable { return flowstats.New(cfg) }
+
+// FlowTableFromRecords replays decoded NDJSON records through a fresh
+// table — how `rrtrace flows` rebuilds the live /flows view offline.
+func FlowTableFromRecords(records []telemetry.Record, cfg FlowStatsConfig) *FlowTable {
+	return flowstats.FromRecords(records, cfg)
+}
 
 // --- spans, sampled series, and trace export ---
 
